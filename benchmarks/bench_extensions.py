@@ -1,0 +1,97 @@
+"""Benches for the library's extensions beyond the paper's scope.
+
+* **spanning forest extraction** (the converse of the paper's footnote
+  1): cost of producing a verified spanning forest via decomposition,
+  against the sequential union-find forest;
+* **union-find compression strategies** (the Patwary et al. design
+  axis behind the parallel-SF-PRM baseline): sequential op counts per
+  strategy on the same union workload;
+* **low-diameter decomposition quality**: partitions/cut-fraction/radius
+  across the input suite at the default beta.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.connectivity import (
+    decomp_spanning_forest,
+    serial_spanning_forest,
+    verify_spanning_forest,
+)
+from repro.connectivity.union_find import COMPRESSION_STRATEGIES, UnionFind
+from repro.decomp import low_diameter_decomposition
+from repro.pram import PAPER_MACHINE, MachineModel, tracking
+
+
+def test_spanning_forest_extraction(benchmark, suite):
+    graph = suite["random"]
+    with tracking() as t_decomp:
+        src, dst = benchmark.pedantic(
+            lambda: decomp_spanning_forest(graph, beta=0.2, seed=1),
+            rounds=1,
+            iterations=1,
+        )
+    verify_spanning_forest(graph, src, dst)
+    with tracking() as t_serial:
+        serial_spanning_forest(graph)
+    t40 = PAPER_MACHINE.time_seconds(t_decomp)
+    t1_serial = MachineModel(threads=1).time_seconds(t_serial)
+    emit(
+        "EXTENSION — spanning forest via decomposition (random)",
+        f"  forest edges          : {src.size}\n"
+        f"  decomp forest T(40h)  : {t40:.6f}s\n"
+        f"  serial-SF forest T(1) : {t1_serial:.6f}s\n"
+        f"  parallel advantage    : {t1_serial / t40:.1f}x",
+    )
+    assert t40 < t1_serial  # the point of the parallel algorithm
+
+
+def test_union_find_strategy_ops(benchmark, suite):
+    graph = suite["3D-grid"]
+    from repro.graphs.ops import edges_as_undirected_pairs
+
+    src, dst = edges_as_undirected_pairs(graph)
+    pairs = list(zip(src.tolist(), dst.tolist()))
+
+    def ops_for(strategy: str) -> int:
+        with tracking() as t:
+            uf = UnionFind(graph.num_vertices, compression=strategy)
+            for u, v in pairs:
+                uf.union(u, v)
+            uf.flush_costs()
+        return int(t.work_by_kind()["seq"])
+
+    results = {s: ops_for(s) for s in COMPRESSION_STRATEGIES}
+    benchmark.pedantic(lambda: ops_for("halving"), rounds=1, iterations=1)
+    emit(
+        "EXTENSION — union-find compression strategies (3D-grid, seq ops)",
+        "\n".join(f"  {s:<10}: {ops:,}" for s, ops in results.items()),
+    )
+    # every compressing strategy beats no compression
+    for s in ("halving", "splitting", "full"):
+        assert results[s] <= results["none"]
+
+
+def test_ldd_quality_suite(benchmark, suite):
+    def run():
+        rows = {}
+        for name, graph in suite.items():
+            ldd = low_diameter_decomposition(graph, beta=0.2, seed=1)
+            rows[name] = ldd
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "EXTENSION — low-diameter decomposition quality (beta=0.2)",
+        "\n".join(
+            f"  {name:<10} partitions={ldd.num_partitions:>7,} "
+            f"cut={ldd.inter_edge_fraction:6.4f} (bound {ldd.fraction_bound:.1f}) "
+            f"radius={ldd.max_radius:>4} (bound ~{ldd.radius_bound:.0f})"
+            for name, ldd in rows.items()
+        ),
+    )
+    for name, ldd in rows.items():
+        # statistical bounds with generous single-run slack
+        assert ldd.inter_edge_fraction <= ldd.fraction_bound * 1.5 + 0.01, name
+        assert ldd.max_radius <= 6 * ldd.radius_bound, name

@@ -1,0 +1,55 @@
+"""Figure 2 — running time versus number of threads, per input graph.
+
+Regenerates all six panels (a)-(f): simulated seconds for every
+implementation across the paper's thread sweep {1, 2, 4, 8, 16, 24,
+32, 40, 40h}, and asserts the curve shapes the paper describes:
+
+* serial-SF is a flat horizontal line;
+* the decomposition implementations scale monotonically and cross
+  below serial-SF at a modest thread count on every graph except the
+  dense rMat2/com-Orkut (where the BFS baselines rule);
+* hybrid-BFS-CC and multistep-CC get (almost) no speedup on line.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import PAPER_GRAPH_ORDER, ascii_series, fig2_thread_sweep
+
+_SERIES_CACHE = {}
+
+
+def _series(suite, gname):
+    if gname not in _SERIES_CACHE:
+        _SERIES_CACHE[gname] = fig2_thread_sweep(suite[gname], gname)
+    return _SERIES_CACHE[gname]
+
+
+@pytest.mark.parametrize("gname", PAPER_GRAPH_ORDER)
+def test_fig2_panel(benchmark, suite, gname):
+    series = benchmark.pedantic(
+        lambda: _series(suite, gname), rounds=1, iterations=1
+    )
+    emit(f"FIGURE 2 — time vs threads on {gname}", ascii_series(series))
+
+    # serial-SF flat
+    sf = list(series["serial-SF"].values())
+    assert max(sf) == pytest.approx(min(sf), rel=1e-9)
+
+    # decomposition curves decrease monotonically with thread count
+    for algo in ("decomp-arb-CC", "decomp-arb-hybrid-CC", "decomp-min-CC"):
+        times = list(series[algo].values())
+        assert all(a >= b for a, b in zip(times, times[1:])), algo
+
+    # paper: "except for rMat2 and com-Orkut, [our implementations]
+    # outperform the best sequential time with a modest number of
+    # threads" — check the crossover below 16 threads
+    if gname not in ("rMat2", "com-Orkut"):
+        serial = sf[0]
+        assert series["decomp-arb-hybrid-CC"]["16"] < serial
+
+    # BFS-per-level baselines get no real speedup on line
+    if gname == "line":
+        for algo in ("hybrid-BFS-CC", "multistep-CC"):
+            speedup = series[algo]["1"] / series[algo]["40h"]
+            assert speedup < 4.0, (algo, speedup)

@@ -1,0 +1,67 @@
+"""Figure 4 — number of remaining edges per iteration versus beta.
+
+Regenerates the four panels (random, rMat, 3D-grid, line) for
+decomp-arb-hybrid-CC and asserts the paper's observations:
+
+* the edge count drops monotonically each iteration, faster for
+  smaller beta (fewer phases to the base case);
+* on every graph except line, duplicate-edge removal makes the drop
+  far sharper than the 2*beta upper bound;
+* the line graph (no duplicate edges to merge) tracks its bound much
+  more closely, needing many more iterations at the same beta.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import ascii_series, fig4_edges_remaining
+from repro.experiments.figures import FIG4_BETAS, FIG4_BETAS_LINE
+
+PANELS = ["random", "rMat", "3D-grid", "line"]
+
+_CACHE = {}
+
+
+def _series(suite, gname):
+    if gname not in _CACHE:
+        _CACHE[gname] = fig4_edges_remaining(suite[gname], gname)
+    return _CACHE[gname]
+
+
+@pytest.mark.parametrize("gname", PANELS)
+def test_fig4_panel(benchmark, suite, gname):
+    series = benchmark.pedantic(lambda: _series(suite, gname), rounds=1, iterations=1)
+    pretty = {
+        f"beta={b}": {i: m for i, m in enumerate(vals)}
+        for b, vals in series.items()
+    }
+    emit(f"FIGURE 4 — edges remaining per iteration on {gname}",
+         ascii_series(pretty))
+
+    for beta, vals in series.items():
+        # strictly decreasing edge counts
+        assert all(a > b for a, b in zip(vals, vals[1:])), (gname, beta)
+        # every per-iteration drop respects the 2*beta expectation bound
+        # generously (it is an expectation; line tracks it closest)
+        for a, b in zip(vals, vals[1:]):
+            assert b <= max(2 * beta * a * 2.0, 64), (gname, beta, a, b)
+
+    if gname != "line":
+        # duplicate removal: the first contraction beats the bound by a
+        # wide margin on non-line graphs
+        for beta, vals in series.items():
+            if len(vals) >= 2:
+                assert vals[1] < 0.5 * 2 * beta * vals[0] + 64, (gname, beta)
+
+    # smaller beta => no more iterations than larger beta (weak check)
+    betas = sorted(series)
+    assert len(series[betas[0]]) <= len(series[betas[-1]]) + 1
+
+
+def test_fig4_line_needs_more_iterations_than_random(benchmark, suite):
+    rnd = benchmark.pedantic(lambda: _series(suite, "random"), rounds=1, iterations=1)
+    lin = _series(suite, "line")
+    common = set(rnd) & set(lin)
+    assert common, "line and random sweeps share at least one beta"
+    for beta in common:
+        assert len(lin[beta]) >= len(rnd[beta])

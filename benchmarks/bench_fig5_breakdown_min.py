@@ -1,0 +1,44 @@
+"""Figure 5 — 40-core phase breakdown of decomp-min-CC.
+
+Regenerates the stacked-bar data (init / bfsPre / bfsPhase1 /
+bfsPhase2 / contractGraph) for random, rMat, 3D-grid and line, and
+asserts the paper's reading: 80-90% of the time goes to the two BFS
+phases, with phase 1 the more expensive.
+"""
+
+import pytest
+
+from benchmarks.conftest import SCALE, emit
+from repro.experiments import ascii_series, fig5_breakdown_min
+from repro.experiments.figures import BREAKDOWN_GRAPHS
+
+_CACHE = {}
+
+
+def _data():
+    if "d" not in _CACHE:
+        _CACHE["d"] = fig5_breakdown_min(scale=SCALE)
+    return _CACHE["d"]
+
+
+def test_fig5_report(benchmark):
+    data = benchmark.pedantic(_data, rounds=1, iterations=1)
+    emit("FIGURE 5 — decomp-min-CC phase breakdown (40h)", ascii_series(data))
+    assert set(data) == set(BREAKDOWN_GRAPHS)
+
+
+@pytest.mark.parametrize("gname", BREAKDOWN_GRAPHS)
+def test_fig5_bfs_phases_dominate(benchmark, gname):
+    phases = benchmark.pedantic(_data, rounds=1, iterations=1)[gname]
+    total = sum(phases.values())
+    bfs = phases["bfsPhase1"] + phases["bfsPhase2"]
+    assert bfs > 0.45 * total, phases
+    assert phases["bfsPhase1"] > phases["bfsPhase2"], phases
+
+
+@pytest.mark.parametrize("gname", BREAKDOWN_GRAPHS)
+def test_fig5_all_phases_present(benchmark, gname):
+    phases = benchmark.pedantic(_data, rounds=1, iterations=1)[gname]
+    for key in ("init", "bfsPre", "bfsPhase1", "bfsPhase2", "contractGraph"):
+        assert key in phases
+        assert phases[key] >= 0.0

@@ -1,0 +1,45 @@
+"""Figure 6 — 40-core phase breakdown of decomp-arb-CC.
+
+The single bfsMain phase replaces decomp-min's two; the paper reads
+55-75% of the time there, and attributes decomp-arb's win over
+decomp-min precisely to this part shrinking (one pass over the edges,
+single-word state).
+"""
+
+import pytest
+
+from benchmarks.conftest import SCALE, emit
+from repro.experiments import ascii_series, fig5_breakdown_min, fig6_breakdown_arb
+from repro.experiments.figures import BREAKDOWN_GRAPHS
+
+_CACHE = {}
+
+
+def _data():
+    if "d" not in _CACHE:
+        _CACHE["d"] = fig6_breakdown_arb(scale=SCALE)
+    return _CACHE["d"]
+
+
+def test_fig6_report(benchmark):
+    data = benchmark.pedantic(_data, rounds=1, iterations=1)
+    emit("FIGURE 6 — decomp-arb-CC phase breakdown (40h)", ascii_series(data))
+    assert set(data) == set(BREAKDOWN_GRAPHS)
+
+
+@pytest.mark.parametrize("gname", BREAKDOWN_GRAPHS)
+def test_fig6_bfs_main_dominates(benchmark, gname):
+    phases = benchmark.pedantic(_data, rounds=1, iterations=1)[gname]
+    total = sum(phases.values())
+    assert phases["bfsMain"] > 0.35 * total, phases
+
+
+@pytest.mark.parametrize("gname", BREAKDOWN_GRAPHS)
+def test_fig6_savings_come_from_the_bfs(benchmark, gname):
+    benchmark.pedantic(_data, rounds=1, iterations=1)
+    """decomp-arb's bfsMain < decomp-min's bfsPhase1+bfsPhase2 (paper:
+    'the savings in running time of decomp-arb-CC comes from this part
+    of the computation')."""
+    arb = _data()[gname]
+    min_phases = fig5_breakdown_min(graphs=[gname], scale=SCALE)[gname]
+    assert arb["bfsMain"] < min_phases["bfsPhase1"] + min_phases["bfsPhase2"]

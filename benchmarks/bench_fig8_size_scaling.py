@@ -1,0 +1,50 @@
+"""Figure 8 — decomp-arb-hybrid-CC running time versus problem size.
+
+Random graphs with n = m/5 across a size sweep; the paper's claim is
+that running time "increases almost linearly as we increase the graph
+size".  We fit the log-log slope and require it near 1.
+"""
+
+import math
+
+from benchmarks.conftest import emit
+from repro.experiments import ascii_series, fig8_size_scaling
+
+EDGE_COUNTS = [50_000, 100_000, 200_000, 300_000, 400_000, 500_000]
+
+_CACHE = {}
+
+
+def _series():
+    if "d" not in _CACHE:
+        _CACHE["d"] = fig8_size_scaling(edge_counts=EDGE_COUNTS)
+    return _CACHE["d"]
+
+
+def test_fig8_report(benchmark):
+    series = benchmark.pedantic(_series, rounds=1, iterations=1)
+    emit(
+        "FIGURE 8 — decomp-arb-hybrid-CC time vs problem size (40h)",
+        ascii_series({"time (s) by num edges": series}),
+    )
+
+
+def test_fig8_monotone_increase(benchmark):
+    series = benchmark.pedantic(_series, rounds=1, iterations=1)
+    sizes = sorted(series)
+    times = [series[s] for s in sizes]
+    assert all(a < b for a, b in zip(times, times[1:]))
+
+
+def test_fig8_near_linear_slope(benchmark):
+    series = benchmark.pedantic(_series, rounds=1, iterations=1)
+    sizes = sorted(series)
+    xs = [math.log(s) for s in sizes]
+    ys = [math.log(series[s]) for s in sizes]
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    slope = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / sum(
+        (x - mean_x) ** 2 for x in xs
+    )
+    assert 0.7 < slope < 1.3, slope

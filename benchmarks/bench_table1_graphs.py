@@ -1,0 +1,37 @@
+"""Table 1 — input graph sizes (and generation throughput).
+
+Regenerates the paper's Table 1 at the selected scale and benchmarks
+the generators themselves (they are parallel primitives too: R-MAT is
+a data-parallel bit-descent, the permutation relabelings use the radix
+sort).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import format_table1, run_table1
+from repro.graphs.generators import grid3d, line_graph, random_kregular, rmat
+
+
+def test_table1_report(suite, benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: run_table1(scale), rounds=1, iterations=1
+    )
+    emit("TABLE 1 — Input graphs", format_table1(rows))
+    assert {r["graph"] for r in rows} == set(suite)
+    for r in rows:
+        assert r["num_vertices"] > 0
+
+
+@pytest.mark.parametrize(
+    "name,factory",
+    [
+        ("random", lambda: random_kregular(50_000, 5, seed=1)),
+        ("rMat", lambda: rmat(16, 240_000, seed=1)),
+        ("3D-grid", lambda: grid3d(32, seed=1)),
+        ("line", lambda: line_graph(50_000, seed=1)),
+    ],
+)
+def test_generator_throughput(benchmark, name, factory):
+    g = benchmark(factory)
+    assert g.num_vertices > 0

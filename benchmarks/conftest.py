@@ -1,0 +1,37 @@
+"""Shared benchmark fixtures.
+
+Scale selection: set ``REPRO_SCALE=tiny|small|medium`` (default
+``small``) to size every benchmark's inputs; the graph suite is built
+once per session.  Every benchmark prints the paper artifact it
+regenerates (run pytest with ``-s`` to see them live; the output is
+also captured into the junit/benchmark logs).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import pytest
+
+from repro.experiments import build_suite
+from repro.graphs.csr import CSRGraph
+
+SCALE = os.environ.get("REPRO_SCALE", "small")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return SCALE
+
+
+@pytest.fixture(scope="session")
+def suite() -> Dict[str, CSRGraph]:
+    """The paper's six input graphs at the selected scale."""
+    return build_suite(SCALE)
+
+
+def emit(title: str, body: str) -> None:
+    """Print one regenerated artifact with a recognizable banner."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}  [scale={SCALE}]\n{bar}\n{body}\n")

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Tuning the decomposition parameter beta (the paper's Figure 3/4 story).
+
+beta trades partition diameter against partition count: small beta
+means few, deep BFS balls (more rounds per decomposition, fewer
+recursion levels); large beta means many shallow balls (cheap rounds,
+more surviving inter-component edges, more recursion levels).  The
+paper finds the sweet spot between 0.05 and 0.2.
+
+This example sweeps beta on two structurally opposite graphs — the
+diameter-adversary line and a low-diameter random graph — showing the
+simulated 40-core time, the decomposition quality (inter-edge fraction
+vs the 2*beta bound), and the edge-decay series.
+
+Run:  python examples/beta_tuning.py
+"""
+
+from repro.analysis import decomposition_stats
+from repro.connectivity import decomp_cc
+from repro.decomp import decomp_arb
+from repro.graphs import line_graph, random_kregular
+from repro.pram import PAPER_MACHINE, tracking
+
+BETAS = [0.02, 0.05, 0.1, 0.2, 0.4, 0.8]
+
+
+def sweep(graph, name: str) -> None:
+    print(f"\n=== {name}: {graph}")
+    print(f"{'beta':>6} {'T(40h) ms':>10} {'iters':>6} "
+          f"{'cut frac':>9} {'2b bound':>9} {'max radius':>10}")
+    for beta in BETAS:
+        with tracking() as profile:
+            result = decomp_cc(graph, beta=beta, variant="arb", seed=3)
+        seconds = PAPER_MACHINE.time_seconds(profile)
+        # quality of the first-level decomposition alone
+        dec = decomp_arb(graph, beta=beta, seed=3)
+        stats = decomposition_stats(graph, dec, beta=beta, variant="arb")
+        print(
+            f"{beta:>6} {seconds * 1e3:>10.3f} {result.iterations:>6} "
+            f"{stats.inter_edge_fraction:>9.4f} "
+            f"{stats.theoretical_fraction_bound:>9.2f} "
+            f"{stats.max_radius:>10}"
+        )
+
+
+def main() -> None:
+    sweep(line_graph(30_000, seed=1), "line (diameter adversary)")
+    sweep(random_kregular(60_000, 5, seed=1), "random (low diameter)")
+    print(
+        "\nReading: the cut fraction always respects the 2*beta bound "
+        "(Theorem 2);\nsmall beta costs deep balls (radius ~ log n / "
+        "beta) but fewer CC iterations;\nthe best total time sits at "
+        "small-to-moderate beta, as in the paper's Figure 3."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Connected-component labeling for image analysis.
+
+The paper's introduction motivates connectivity with "image analysis
+for computer vision": segmenting a binary image means labeling the
+connected components of its pixel-adjacency graph.  This example
+synthesizes a binary image of random blobs, builds the 4-neighbor
+adjacency graph over foreground pixels, labels components with
+decomp-arb-hybrid-CC, and reports the segments — then cross-checks
+with the sequential baseline.
+
+Run:  python examples/image_segmentation.py
+"""
+
+import numpy as np
+
+from repro.analysis import labelings_equivalent
+from repro.connectivity import decomp_cc, serial_sf_cc
+from repro.graphs import from_edges
+
+
+def synthesize_blobs(height: int, width: int, num_blobs: int, seed: int) -> np.ndarray:
+    """A binary image: random axis-aligned elliptical blobs on black."""
+    rng = np.random.default_rng(seed)
+    yy, xx = np.mgrid[0:height, 0:width]
+    image = np.zeros((height, width), dtype=bool)
+    for _ in range(num_blobs):
+        cy, cx = rng.integers(0, height), rng.integers(0, width)
+        ry = rng.integers(3, max(4, height // 8))
+        rx = rng.integers(3, max(4, width // 8))
+        image |= ((yy - cy) / ry) ** 2 + ((xx - cx) / rx) ** 2 <= 1.0
+    return image
+
+
+def pixel_adjacency_graph(image: np.ndarray):
+    """4-neighbor graph over foreground pixels, with compacted ids.
+
+    Returns (graph, pixel_id) where pixel_id maps (row, col) of each
+    foreground pixel to its graph vertex (-1 for background).
+    """
+    height, width = image.shape
+    pixel_id = np.full(image.shape, -1, dtype=np.int64)
+    fg = np.flatnonzero(image.ravel())
+    pixel_id.ravel()[fg] = np.arange(fg.size)
+
+    flat = pixel_id.ravel()
+    idx = np.arange(height * width).reshape(image.shape)
+    edges_src, edges_dst = [], []
+    # right neighbors
+    both = image[:, :-1] & image[:, 1:]
+    edges_src.append(flat[idx[:, :-1][both]])
+    edges_dst.append(flat[idx[:, 1:][both]])
+    # down neighbors
+    both = image[:-1, :] & image[1:, :]
+    edges_src.append(flat[idx[:-1, :][both]])
+    edges_dst.append(flat[idx[1:, :][both]])
+    graph = from_edges(
+        np.concatenate(edges_src), np.concatenate(edges_dst), num_vertices=fg.size
+    )
+    return graph, pixel_id
+
+
+def render_ascii(image: np.ndarray, labels_2d: np.ndarray, max_rows: int = 24) -> str:
+    """Tiny terminal rendering: one glyph per segment."""
+    glyphs = ".0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    step = max(1, image.shape[0] // max_rows)
+    rows = []
+    for r in range(0, image.shape[0], step):
+        row = ""
+        for c in range(0, image.shape[1], 2 * step):
+            if not image[r, c]:
+                row += " "
+            else:
+                row += glyphs[1 + labels_2d[r, c] % (len(glyphs) - 1)]
+        rows.append(row)
+    return "\n".join(rows)
+
+
+def main() -> None:
+    image = synthesize_blobs(120, 240, num_blobs=14, seed=7)
+    print(f"image: {image.shape[0]}x{image.shape[1]}, "
+          f"{int(image.sum())} foreground pixels")
+
+    graph, pixel_id = pixel_adjacency_graph(image)
+    print(f"pixel adjacency graph: {graph}")
+
+    result = decomp_cc(graph, beta=0.2, variant="arb-hybrid", seed=3)
+    print(f"segments found: {result.num_components}")
+    sizes = result.component_sizes()
+    print(f"largest segments (pixels): {sizes[:8].tolist()}")
+
+    # cross-check against the sequential baseline
+    reference = serial_sf_cc(graph)
+    assert labelings_equivalent(result.labels, reference.labels)
+    print("matches serial-SF: OK")
+
+    # paint labels back onto the image and draw it
+    labels_2d = np.zeros(image.shape, dtype=np.int64)
+    labels_2d[image] = result.labels[pixel_id[image]]
+    print(render_ascii(image, labels_2d))
+
+
+if __name__ == "__main__":
+    main()

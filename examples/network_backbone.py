@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Spanning-forest extraction: the minimal backbone of a network.
+
+The paper (footnote 1) notes the equivalence between spanning forests
+and connected components; this library implements both directions.  A
+spanning forest is the minimal edge set preserving reachability — the
+"backbone" question in infrastructure planning: of all the redundant
+links in a mesh, which n - c must stay so nothing disconnects?
+
+This example builds a redundant mesh (a small-world network: local
+rings plus shortcuts), extracts a spanning forest with the linear-work
+decomposition algorithm, verifies it, and quantifies the redundancy
+removed.
+
+Run:  python examples/network_backbone.py
+"""
+
+import numpy as np
+
+from repro.connectivity import (
+    decomp_cc,
+    decomp_spanning_forest,
+    verify_spanning_forest,
+)
+from repro.graphs import small_world
+from repro.pram import PAPER_MACHINE, tracking
+
+
+def main() -> None:
+    # A redundant mesh: every node in a local ring of degree 6, with
+    # 10% of links rewired into long-range shortcuts.
+    mesh = small_world(20_000, k=6, p=0.1, seed=5)
+    print(f"mesh network : {mesh}")
+
+    with tracking() as profile:
+        src, dst = decomp_spanning_forest(mesh, beta=0.2, variant="arb", seed=1)
+    verify_spanning_forest(mesh, src, dst)
+    seconds = PAPER_MACHINE.time_seconds(profile)
+
+    components = decomp_cc(mesh, beta=0.2, seed=1).num_components
+    print(f"components   : {components}")
+    print(f"backbone     : {src.size} links "
+          f"(= n - c = {mesh.num_vertices - components})")
+    removed = mesh.num_edges - src.size
+    print(f"redundancy   : {removed} links removable "
+          f"({100.0 * removed / mesh.num_edges:.1f}% of the mesh)")
+    print(f"simulated T(40h): {seconds * 1e3:.3f} ms")
+
+    # Which nodes carry the backbone? Degree distribution of the forest.
+    forest_degree = np.bincount(
+        np.concatenate((src, dst)), minlength=mesh.num_vertices
+    )
+    print(f"backbone degree: max {forest_degree.max()}, "
+          f"mean {forest_degree.mean():.2f} "
+          f"(tree invariant: mean = 2(n-c)/n)")
+    print("verified     : spans the mesh, acyclic, links are real")
+
+
+if __name__ == "__main__":
+    main()

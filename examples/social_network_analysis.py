@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Social-network component analysis (the paper's com-Orkut scenario).
+
+Community-scale graphs are the regime where algorithm choice matters
+most: on a dense, low-diameter social network the direction-optimizing
+BFS baselines shine, while the decomposition algorithm provides the
+same answer with worst-case guarantees.  This example runs both on the
+com-Orkut surrogate, compares their simulated 40-core times, and then
+uses the component structure for a simple analysis: finding isolated
+users and community cores after removing the weakest ties.
+
+Run:  python examples/social_network_analysis.py
+"""
+
+import numpy as np
+
+from repro.analysis import labelings_equivalent
+from repro.connectivity import decomp_cc, hybrid_bfs_cc, multistep_cc
+from repro.graphs import from_edges, orkut_like
+from repro.graphs.ops import edges_as_undirected_pairs
+from repro.pram import PAPER_MACHINE, tracking
+
+
+def timed(fn, *args, **kwargs):
+    with tracking() as profile:
+        result = fn(*args, **kwargs)
+    return result, PAPER_MACHINE.time_seconds(profile)
+
+
+def main() -> None:
+    network = orkut_like(20_000, avg_degree=40.0, seed=11)
+    print(f"network: {network}  (com-Orkut surrogate, DESIGN.md §2)")
+
+    # --- who finds the components fastest on this graph shape? -------
+    runs = {
+        "decomp-arb-hybrid-CC": lambda: decomp_cc(
+            network, beta=0.2, variant="arb-hybrid", seed=1
+        ),
+        "hybrid-BFS-CC": lambda: hybrid_bfs_cc(network),
+        "multistep-CC": lambda: multistep_cc(network),
+    }
+    results = {}
+    print("\nsimulated 40-core times (the paper's com-Orkut column shape):")
+    for name, fn in runs.items():
+        result, seconds = timed(fn)
+        results[name] = result
+        print(f"  {name:22s} {seconds * 1e3:8.3f} ms "
+              f"({result.num_components} components)")
+    assert labelings_equivalent(
+        results["decomp-arb-hybrid-CC"].labels, results["hybrid-BFS-CC"].labels
+    )
+
+    # --- community structure after removing weak ties ----------------
+    # Model tie strength by co-degree: drop edges between two low-degree
+    # users, then see how the giant component shatters.
+    deg = network.degrees
+    src, dst = edges_as_undirected_pairs(network)
+    strong = (deg[src] + deg[dst]) >= np.quantile(deg[src] + deg[dst], 0.6)
+    core_graph = from_edges(src[strong], dst[strong], num_vertices=network.num_vertices)
+    core = decomp_cc(core_graph, beta=0.2, variant="arb-hybrid", seed=2)
+    sizes = core.component_sizes()
+    isolated = int((sizes == 1).sum())
+    print("\nafter dropping the weakest 60% of ties:")
+    print(f"  components: {core.num_components}")
+    print(f"  giant core: {sizes[0]} users "
+          f"({100.0 * sizes[0] / network.num_vertices:.1f}%)")
+    print(f"  isolated users: {isolated}")
+    print(f"  mid-size communities (>=5 users): "
+          f"{int(((sizes >= 5) & (sizes < sizes[0])).sum())}")
+
+
+if __name__ == "__main__":
+    main()

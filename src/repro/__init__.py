@@ -1,0 +1,31 @@
+"""repro — reproduction of Shun, Dhulipala & Blelloch, SPAA 2014:
+"A Simple and Practical Linear-Work Parallel Algorithm for Connectivity".
+
+Public API tour
+---------------
+Graphs::
+
+    from repro.graphs import random_kregular, rmat_paper, grid3d, line_graph
+    g = random_kregular(100_000, k=5, seed=1)
+
+Connectivity (the paper's algorithm and every baseline it compares to)::
+
+    from repro.connectivity import decomp_cc, serial_sf_cc, multistep_cc
+    result = decomp_cc(g, beta=0.2, variant="arb-hybrid", seed=1)
+    labels = result.labels          # one label per vertex
+
+Simulated-machine timing (the paper's 40-core experiments)::
+
+    from repro.pram import CostTracker, tracking, PAPER_MACHINE
+    with tracking() as t:
+        decomp_cc(g, beta=0.2, variant="arb", seed=1)
+    seconds_40h = PAPER_MACHINE.time_seconds(t)
+
+Experiment harness (regenerates every table and figure)::
+
+    from repro.experiments import run_table2, run_figure2
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

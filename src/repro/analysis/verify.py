@@ -1,0 +1,151 @@
+"""Labeling verification: is a claimed connectivity labeling correct?
+
+Ground truth comes from this package's own sequential BFS sweep (no
+external dependency in the library; the test suite additionally
+cross-checks against networkx).  Two layers:
+
+* :func:`labelings_equivalent` — do two labelings induce the same
+  partition of the vertices?  (Labels are arbitrary names.)
+* :func:`verify_labeling` — full check against the graph: every edge
+  must join same-labeled vertices (the labeling *refines* into
+  components) and same-labeled vertices must be connected (no
+  over-merging), established by comparing against the BFS ground
+  truth.  Raises :class:`~repro.errors.VerificationError` with a
+  counterexample on failure.
+
+Also exposes :func:`ground_truth_labels`, the reference sequential
+implementation (iterative BFS, O(n + m)).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.connectivity.base import canonicalize_labels
+from repro.errors import VerificationError
+from repro.graphs.csr import CSRGraph
+
+__all__ = [
+    "ground_truth_labels",
+    "labelings_equivalent",
+    "verify_labeling",
+    "verify_decomposition",
+]
+
+
+def ground_truth_labels(graph: CSRGraph) -> np.ndarray:
+    """Reference labeling via sequential BFS (component ids in visit order)."""
+    n = graph.num_vertices
+    labels = np.full(n, -1, dtype=np.int64)
+    offsets, targets = graph.offsets, graph.targets
+    next_label = 0
+    for s in range(n):
+        if labels[s] != -1:
+            continue
+        labels[s] = next_label
+        stack = [s]
+        while stack:
+            u = stack.pop()
+            for w in targets[offsets[u] : offsets[u + 1]]:
+                if labels[w] == -1:
+                    labels[w] = next_label
+                    stack.append(int(w))
+        next_label += 1
+    return labels
+
+
+def labelings_equivalent(a: np.ndarray, b: np.ndarray) -> bool:
+    """True iff *a* and *b* induce the same partition of the vertices."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        return False
+    return bool(np.array_equal(canonicalize_labels(a), canonicalize_labels(b)))
+
+
+def verify_labeling(
+    graph: CSRGraph, labels: np.ndarray, reference: Optional[np.ndarray] = None
+) -> None:
+    """Raise :class:`VerificationError` unless *labels* solves the problem.
+
+    Checks, in order:
+
+    1. shape and definedness (one finite label per vertex);
+    2. edge consistency: no edge may cross labels (otherwise the
+       labeling splits a component);
+    3. partition equality with the ground truth (otherwise it merges
+       two components).
+    """
+    labels = np.asarray(labels)
+    n = graph.num_vertices
+    if labels.shape != (n,):
+        raise VerificationError(
+            f"labels shape {labels.shape} != ({n},) for this graph"
+        )
+    src, dst = graph.edge_array()
+    crossing = labels[src] != labels[dst]
+    if crossing.any():
+        i = int(np.flatnonzero(crossing)[0])
+        raise VerificationError(
+            f"edge ({int(src[i])}, {int(dst[i])}) crosses labels "
+            f"{int(labels[src[i]])} != {int(labels[dst[i]])}"
+        )
+    truth = reference if reference is not None else ground_truth_labels(graph)
+    if not labelings_equivalent(labels, truth):
+        got = int(np.unique(labels).size)
+        want = int(np.unique(truth).size)
+        raise VerificationError(
+            f"labeling partitions vertices into {got} classes; "
+            f"the graph has {want} components"
+        )
+
+
+def verify_decomposition(
+    graph: CSRGraph, labels: np.ndarray, check_connected: bool = True
+) -> int:
+    """Validate a (beta, d)-decomposition's structural invariants.
+
+    Every vertex must be labeled with a vertex id inside its own
+    partition (the BFS center), and — when *check_connected* — each
+    partition must induce a connected subgraph (it was grown by one
+    BFS).  Returns the number of inter-partition directed edges so
+    callers can test the beta bound statistically.
+    """
+    labels = np.asarray(labels)
+    n = graph.num_vertices
+    if labels.shape != (n,):
+        raise VerificationError("decomposition labels must cover all vertices")
+    if n == 0:
+        return 0
+    if labels.min() < 0 or labels.max() >= n:
+        raise VerificationError("decomposition labels must be vertex ids")
+    centers = np.unique(labels)
+    if not np.array_equal(labels[centers], centers):
+        bad = centers[labels[centers] != centers][0]
+        raise VerificationError(
+            f"center {int(bad)} is not in its own partition"
+        )
+    if check_connected:
+        # One BFS inside each partition, restricted to same-label edges.
+        seen = np.zeros(n, dtype=bool)
+        offsets, targets = graph.offsets, graph.targets
+        for c in centers:
+            seen[c] = True
+            stack = [int(c)]
+            while stack:
+                u = stack.pop()
+                for w in targets[offsets[u] : offsets[u + 1]]:
+                    w = int(w)
+                    if not seen[w] and labels[w] == labels[u]:
+                        seen[w] = True
+                        stack.append(w)
+        if not seen.all():
+            bad = int(np.flatnonzero(~seen)[0])
+            raise VerificationError(
+                f"vertex {bad} cannot reach its center {int(labels[bad])} "
+                "inside its own partition"
+            )
+    src, dst = graph.edge_array()
+    return int(np.count_nonzero(labels[src] != labels[dst]))

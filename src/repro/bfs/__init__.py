@@ -1,0 +1,16 @@
+"""Breadth-first search substrate: frontiers, parallel BFS, hybrid BFS."""
+
+from repro.bfs.frontier import DENSE_THRESHOLD, Frontier
+from repro.bfs.hybrid_bfs import HybridBFSResult, bottom_up_step, hybrid_bfs
+from repro.bfs.parallel_bfs import UNVISITED, BFSResult, parallel_bfs
+
+__all__ = [
+    "BFSResult",
+    "DENSE_THRESHOLD",
+    "Frontier",
+    "HybridBFSResult",
+    "UNVISITED",
+    "bottom_up_step",
+    "hybrid_bfs",
+    "parallel_bfs",
+]

@@ -1,0 +1,246 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives shell access to the whole reproduction:
+
+``list``
+    Show the registered input graphs and algorithms.
+``run ALGO GRAPH``
+    Run one implementation on one input; print components, iteration
+    metadata, and simulated times at chosen thread counts.
+``decompose GRAPH``
+    Run the low-diameter decomposition and report its quality against
+    the theoretical bounds.
+``forest GRAPH``
+    Extract and verify a spanning forest via the decomposition.
+``table1`` / ``table2``
+    Regenerate the paper's tables.
+``figure {2,3,4,5,6,7,8}``
+    Regenerate one of the paper's figures as ASCII series.
+
+All commands accept ``--scale {tiny,small,medium}`` (default small).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import (
+    ALGORITHMS,
+    GRAPHS,
+    PAPER_GRAPH_ORDER,
+    ascii_series,
+    build_graph,
+    build_suite,
+    fig2_thread_sweep,
+    fig3_beta_sweep,
+    fig4_edges_remaining,
+    fig5_breakdown_min,
+    fig6_breakdown_arb,
+    fig7_breakdown_hybrid,
+    fig8_size_scaling,
+    format_table1,
+    format_table2,
+    profile_run,
+    run_table1,
+    run_table2,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for ``python -m repro`` (see module docstring)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'A Simple and Practical Linear-Work Parallel "
+            "Algorithm for Connectivity' (SPAA 2014)"
+        ),
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["tiny", "small", "medium"],
+        default="small",
+        help="input size preset (default: small)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered graphs and algorithms")
+
+    run = sub.add_parser("run", help="run one algorithm on one graph")
+    run.add_argument("algorithm", choices=sorted(ALGORITHMS))
+    run.add_argument("graph", choices=sorted(GRAPHS))
+    run.add_argument("--beta", type=float, default=0.2)
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument(
+        "--threads",
+        nargs="*",
+        default=["1", "40h"],
+        help="thread counts to report (e.g. 1 8 40h)",
+    )
+    run.add_argument("--no-verify", action="store_true")
+
+    dec = sub.add_parser("decompose", help="low-diameter decomposition quality")
+    dec.add_argument("graph", choices=sorted(GRAPHS))
+    dec.add_argument("--beta", type=float, default=0.2)
+    dec.add_argument("--variant", choices=["min", "arb", "arb-hybrid"], default="arb")
+    dec.add_argument("--seed", type=int, default=1)
+
+    forest = sub.add_parser("forest", help="spanning forest via decomposition")
+    forest.add_argument("graph", choices=sorted(GRAPHS))
+    forest.add_argument("--beta", type=float, default=0.2)
+    forest.add_argument("--seed", type=int, default=1)
+
+    sub.add_parser("table1", help="regenerate Table 1")
+    t2 = sub.add_parser("table2", help="regenerate Table 2")
+    t2.add_argument("--beta", type=float, default=0.2)
+
+    fig = sub.add_parser("figure", help="regenerate a figure's series")
+    fig.add_argument("number", type=int, choices=[2, 3, 4, 5, 6, 7, 8])
+    fig.add_argument("--graph", choices=sorted(GRAPHS), default="random")
+
+    rep = sub.add_parser(
+        "report", help="write every artifact (JSON/CSV + summary.md) to a directory"
+    )
+    rep.add_argument("outdir")
+    rep.add_argument("--beta", type=float, default=0.2)
+    rep.add_argument("--seed", type=int, default=1)
+    return parser
+
+
+def _cmd_list(args) -> int:
+    print("graphs:")
+    for name in PAPER_GRAPH_ORDER:
+        print(f"  {name:<12} {GRAPHS[name].description}")
+    print("algorithms:")
+    for name, spec in ALGORITHMS.items():
+        star = "*" if spec.in_paper else " "
+        print(f" {star} {name:<22} {spec.description}")
+    print("(* = in the paper's Table 2)")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    graph = build_graph(args.graph, args.scale)
+    print(f"{args.graph} [{args.scale}]: {graph}")
+    kwargs = (
+        {"beta": args.beta, "seed": args.seed}
+        if args.algorithm.startswith("decomp-")
+        else {}
+    )
+    prof = profile_run(
+        args.algorithm, graph, graph_name=args.graph,
+        verify=not args.no_verify, **kwargs,
+    )
+    res = prof.result
+    print(f"components : {res.num_components}")
+    print(f"iterations : {res.iterations}")
+    if res.edges_per_iteration:
+        print(f"edges/iter : {res.edges_per_iteration}")
+    print(f"wall clock : {prof.wall_seconds:.3f}s (single-core NumPy)")
+    for spec in args.threads:
+        print(f"T({spec:>4})    : {prof.seconds_at(spec):.6f}s simulated")
+    if not args.no_verify:
+        print("verified   : OK")
+    return 0
+
+
+def _cmd_decompose(args) -> int:
+    from repro.decomp import low_diameter_decomposition
+
+    graph = build_graph(args.graph, args.scale)
+    ldd = low_diameter_decomposition(
+        graph, beta=args.beta, variant=args.variant, seed=args.seed
+    )
+    print(f"{args.graph} [{args.scale}]: {graph}")
+    print(f"partitions          : {ldd.num_partitions}")
+    print(f"largest partitions  : {ldd.partition_sizes()[:5].tolist()}")
+    print(
+        f"inter-edge fraction : {ldd.inter_edge_fraction:.4f} "
+        f"(expectation bound {ldd.fraction_bound:.2f})"
+    )
+    print(
+        f"max radius          : {ldd.max_radius} "
+        f"(O(log n / beta) ~ {ldd.radius_bound:.1f})"
+    )
+    return 0
+
+
+def _cmd_forest(args) -> int:
+    from repro.connectivity import decomp_spanning_forest, verify_spanning_forest
+
+    graph = build_graph(args.graph, args.scale)
+    src, dst = decomp_spanning_forest(graph, beta=args.beta, seed=args.seed)
+    verify_spanning_forest(graph, src, dst)
+    print(f"{args.graph} [{args.scale}]: {graph}")
+    print(f"forest edges : {src.size} (= n - #components)")
+    print("verified     : spans the graph, acyclic, edges are real")
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    print(format_table1(run_table1(args.scale)))
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    print(format_table2(run_table2(scale=args.scale, beta=args.beta)))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    n = args.number
+    if n == 2:
+        graph = build_graph(args.graph, args.scale)
+        print(ascii_series(fig2_thread_sweep(graph, args.graph)))
+    elif n == 3:
+        graph = build_graph(args.graph, args.scale)
+        print(ascii_series(fig3_beta_sweep(graph, args.graph)))
+    elif n == 4:
+        graph = build_graph(args.graph, args.scale)
+        series = fig4_edges_remaining(graph, args.graph)
+        print(ascii_series({f"beta={b}": dict(enumerate(v)) for b, v in series.items()}))
+    elif n == 5:
+        print(ascii_series(fig5_breakdown_min(scale=args.scale)))
+    elif n == 6:
+        print(ascii_series(fig6_breakdown_arb(scale=args.scale)))
+    elif n == 7:
+        print(ascii_series(fig7_breakdown_hybrid(scale=args.scale)))
+    elif n == 8:
+        print(ascii_series({"seconds by edges": fig8_size_scaling()}))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.report import generate_report
+
+    written = generate_report(
+        args.outdir, scale=args.scale, beta=args.beta, seed=args.seed
+    )
+    for artifact, path in sorted(written.items()):
+        print(f"{artifact:<10} -> {path}")
+    return 0
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "run": _cmd_run,
+    "decompose": _cmd_decompose,
+    "forest": _cmd_forest,
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "figure": _cmd_figure,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""Connectivity algorithms: the paper's decomp-CC and all its baselines.
+
+The eight implementations of the paper's Table 2, all returning a
+:class:`~repro.connectivity.base.ConnectivityResult`:
+
+================ =====================================================
+decomp-min-CC     ``decomp_cc(g, variant="min")`` — Algorithm 1 + 2
+decomp-arb-CC     ``decomp_cc(g, variant="arb")`` — Algorithm 1 + 3
+decomp-arb-hybrid-CC  ``decomp_cc(g, variant="arb-hybrid")``
+serial-SF         ``serial_sf_cc`` — sequential union-find forest
+parallel-SF-PBBS  ``parallel_sf_pbbs_cc`` — deterministic reservations
+parallel-SF-PRM   ``parallel_sf_prm_cc`` — lock-based union-find
+hybrid-BFS-CC     ``hybrid_bfs_cc`` — dir-optimizing BFS per component
+multistep-CC      ``multistep_cc`` — BFS giant comp + label propagation
+================ =====================================================
+
+Plus two classical extras for the work-efficiency comparisons:
+``label_prop_cc`` (graph-systems style) and ``shiloach_vishkin_cc``
+(O(m log n)).
+"""
+
+from repro.connectivity.base import (
+    ConnectivityResult,
+    canonicalize_labels,
+    num_components,
+)
+from repro.connectivity.decomp_cc import DEFAULT_BETA, decomp_cc
+from repro.connectivity.hybrid_bfs_cc import bfs_from_source, hybrid_bfs_cc
+from repro.connectivity.label_prop import label_prop_cc, propagate_labels
+from repro.connectivity.multistep import multistep_cc
+from repro.connectivity.parallel_sf_pbbs import parallel_sf_pbbs_cc
+from repro.connectivity.parallel_sf_prm import parallel_sf_prm_cc
+from repro.connectivity.serial_sf import serial_sf_cc, serial_spanning_forest
+from repro.connectivity.shiloach_vishkin import shiloach_vishkin_cc
+from repro.connectivity.spanning_forest import (
+    decomp_spanning_forest,
+    partition_parents,
+    verify_spanning_forest,
+)
+from repro.connectivity.union_find import UnionFind, compress_all, find_roots
+
+__all__ = [
+    "ConnectivityResult",
+    "DEFAULT_BETA",
+    "UnionFind",
+    "bfs_from_source",
+    "canonicalize_labels",
+    "compress_all",
+    "decomp_cc",
+    "decomp_spanning_forest",
+    "find_roots",
+    "partition_parents",
+    "verify_spanning_forest",
+    "hybrid_bfs_cc",
+    "label_prop_cc",
+    "multistep_cc",
+    "num_components",
+    "parallel_sf_pbbs_cc",
+    "parallel_sf_prm_cc",
+    "propagate_labels",
+    "serial_sf_cc",
+    "serial_spanning_forest",
+    "shiloach_vishkin_cc",
+]

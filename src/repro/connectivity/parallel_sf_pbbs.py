@@ -1,0 +1,102 @@
+"""parallel-SF-PBBS: spanning forest via deterministic reservations.
+
+The Problem Based Benchmark Suite's parallel spanning forest processes
+edges speculatively: each round, every still-active edge finds the
+current roots of its endpoints and *reserves* both roots with its edge
+index (a writeMin, so the smallest-index edge deterministically wins);
+an edge that still holds (at least) one of its roots at check time
+commits, linking that root under the other, and everyone else retries
+after a pointer-jumping compression.
+
+Commit-if-holding-either is safe: a links-cycle r1 -> r2 -> ... -> r1
+would need each linking edge e_i to be the minimum reservation at r_i,
+but e_{i-1} also wrote r_i, forcing e_i <= e_{i-1} around the cycle —
+so all the e_i are equal, i.e. one edge linking a root to itself,
+which the ru != rv filter excludes.  And the globally smallest active
+edge always holds both its roots, guaranteeing progress.
+
+This baseline is *not* work-efficient: an edge may retry many rounds,
+and every round re-finds roots — the super-linear work the paper's
+Table 2 exposes (parallel-SF-PBBS is the slowest single-thread
+parallel code).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.connectivity.base import ConnectivityResult
+from repro.connectivity.union_find import compress_all, find_roots
+from repro.errors import ConvergenceError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.ops import edges_as_undirected_pairs
+from repro.pram.cost import current_tracker
+from repro.primitives.atomics import write_min
+
+__all__ = ["parallel_sf_pbbs_cc"]
+
+_INF = np.int64(2**62)
+_MAX_ROUNDS = 10_000
+
+
+def parallel_sf_pbbs_cc(graph: CSRGraph) -> ConnectivityResult:
+    """Connected components via PBBS-style reservation spanning forest.
+
+    Includes the root-finding post-pass (pointer jumping to full
+    compression), per the paper's timing methodology.
+    """
+    tracker = current_tracker()
+    n = graph.num_vertices
+    src, dst = edges_as_undirected_pairs(graph)
+    parent = np.arange(n, dtype=np.int64)
+    reservation = np.full(n, _INF, dtype=np.int64)
+    tracker.add("alloc", work=float(2 * n), depth=1.0)
+
+    active_src, active_dst = src, dst
+    active_idx = np.arange(src.size, dtype=np.int64)
+    rounds = 0
+    forest_edges = 0
+    while active_idx.size:
+        rounds += 1
+        if rounds > _MAX_ROUNDS:  # pragma: no cover - safety net
+            raise ConvergenceError("parallel-SF-PBBS exceeded round budget")
+        ru = find_roots(parent, active_src)
+        rv = find_roots(parent, active_dst)
+        alive = ru != rv
+        active_src, active_dst = active_src[alive], active_dst[alive]
+        active_idx = active_idx[alive]
+        ru, rv = ru[alive], rv[alive]
+        if active_idx.size == 0:
+            break
+
+        # Reserve both roots with the edge index; smallest index wins.
+        reservation[ru] = _INF
+        reservation[rv] = _INF
+        write_min(reservation, ru, active_idx)
+        write_min(reservation, rv, active_idx)
+
+        # Commit: an edge holding either root links that root under the
+        # other (acyclic — see module docstring); losers retry.
+        holds_u = reservation[ru] == active_idx
+        holds_v = reservation[rv] == active_idx
+        tracker.add("gather", work=float(2 * active_idx.size), depth=1.0)
+        link_from = np.where(holds_u, ru, rv)
+        link_to = np.where(holds_u, rv, ru)
+        committed = holds_u | holds_v
+        parent[link_from[committed]] = link_to[committed]
+        tracker.add("scatter", work=float(int(committed.sum())), depth=1.0)
+        forest_edges += int(committed.sum())
+
+        done = committed  # committed edges leave the active set
+        active_src, active_dst = active_src[~done], active_dst[~done]
+        active_idx = active_idx[~done]
+        compress_all(parent)
+        tracker.sync()
+
+    compress_all(parent)  # the paper's root-finding post-processing
+    return ConnectivityResult(
+        labels=parent.copy(),
+        algorithm="parallel-SF-PBBS",
+        iterations=rounds,
+        stats={"forest_edges": forest_edges},
+    )

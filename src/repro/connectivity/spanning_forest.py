@@ -1,0 +1,184 @@
+"""Spanning forest extraction from the decomposition algorithm.
+
+The paper's footnote 1 notes that "a spanning forest algorithm can be
+used to compute connected components"; this module implements the
+converse — the decomposition-based connectivity algorithm naturally
+*produces* a spanning forest, an extension beyond the paper's stated
+scope:
+
+* inside each decomposition partition, the BFS that grew it defines a
+  tree rooted at the center (we re-derive the parents with one
+  multi-source BFS over same-label edges — O(n + m));
+* each tree edge of the recursively computed spanning forest of the
+  contracted graph maps back to a *representative original edge* of
+  the component adjacency it uses (carried by
+  :class:`~repro.decomp.contract.Contraction`).
+
+The union over all recursion levels is a spanning forest of the input:
+per level, the intra-partition trees span each partition, and the
+contracted forest connects partitions exactly as the contracted graph's
+forest connects its vertices — acyclicity and edge count
+(n − #components) follow inductively.
+
+Same asymptotics as decomp-CC: O(m) expected work, O(log^3 n) depth
+w.h.p.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.connectivity.union_find import UnionFind
+from repro.decomp import DECOMP_VARIANTS, contract
+from repro.errors import ParameterError, VerificationError
+from repro.graphs.csr import CSRGraph
+from repro.pram.cost import current_tracker
+
+__all__ = ["decomp_spanning_forest", "partition_parents", "verify_spanning_forest"]
+
+_MAX_LEVELS = 200
+
+
+def partition_parents(graph: CSRGraph, labels: np.ndarray) -> np.ndarray:
+    """BFS-tree parent of each vertex within its decomposition partition.
+
+    Multi-source BFS from all centers, restricted to same-label edges;
+    centers (and isolated vertices) get parent -1.  This reconstructs
+    the trees the decomposition's BFS's grew — any intra-partition BFS
+    tree from the same roots is a valid choice, since the forest only
+    needs *a* spanning tree per partition.
+    """
+    labels = np.asarray(labels)
+    n = graph.num_vertices
+    parents = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return parents
+    tracker = current_tracker()
+    reached = np.zeros(n, dtype=bool)
+    centers = np.unique(labels)
+    reached[centers] = True
+    tracker.add("scatter", work=float(centers.size), depth=1.0)
+    frontier = centers
+    while frontier.size:
+        src, dst = graph.expand(frontier)
+        same = labels[src] == labels[dst]
+        fresh = same & ~reached[dst]
+        tracker.add("gather", work=float(2 * dst.size), depth=1.0)
+        if not fresh.any():
+            break
+        # arbitrary-CRCW: first claimer per target wins parenthood
+        fresh_pos = np.flatnonzero(fresh)
+        targets, first = np.unique(dst[fresh_pos], return_index=True)
+        parents[targets] = src[fresh_pos[first]]
+        reached[targets] = True
+        tracker.add("atomic", work=float(fresh_pos.size), depth=1.0)
+        tracker.sync()
+        frontier = targets
+    return parents
+
+
+def decomp_spanning_forest(
+    graph: CSRGraph,
+    beta: float = 0.2,
+    variant: str = "arb",
+    seed: int = 1,
+    schedule_mode: str = "permutation",
+) -> Tuple[np.ndarray, np.ndarray]:
+    """A spanning forest of *graph* via recursive decomposition.
+
+    Returns ``(src, dst)`` arrays of undirected forest edges (each once,
+    arbitrary orientation); ``len(src) == n - #components``.
+    """
+    if variant not in DECOMP_VARIANTS:
+        raise ParameterError(
+            f"unknown variant {variant!r}; expected one of {sorted(DECOMP_VARIANTS)}"
+        )
+    decomp_fn = DECOMP_VARIANTS[variant]
+
+    forest_src: List[np.ndarray] = []
+    forest_dst: List[np.ndarray] = []
+    # Chain of contractions: the level-l forest edges are component
+    # pairs that must be pulled down through levels l-1, ..., 0.
+    chain = []
+    current = graph
+    for level in range(_MAX_LEVELS):
+        dec = decomp_fn(
+            current, beta, seed=seed + 1000003 * level, schedule_mode=schedule_mode
+        )
+        # Intra-partition tree edges, in *current-level* vertex ids.
+        parents = partition_parents(current, dec.labels)
+        children = np.flatnonzero(parents >= 0)
+        chain.append((children, parents[children]))
+        con = contract(dec, current.num_vertices)
+        chain[-1] = chain[-1] + (con,)
+        if con.is_base_case:
+            break
+        current = con.graph
+    else:  # pragma: no cover - safety net
+        raise RuntimeError("spanning forest exceeded recursion budget")
+
+    # Unwind: pull each level's forest edges down to original ids.
+    # sub_edges holds the forest of the *contracted* graph at the
+    # current level, as contracted-vertex pairs.
+    sub_src = np.zeros(0, dtype=np.int64)
+    sub_dst = np.zeros(0, dtype=np.int64)
+    for children, parents_of, con in reversed(chain):
+        level_src = [children]
+        level_dst = [parents_of]
+        if sub_src.size:
+            # Contracted forest edges -> component pairs -> one
+            # representative current-level edge each.
+            comp_u = con.sub_to_component[sub_src]
+            comp_v = con.sub_to_component[sub_dst]
+            rep_u, rep_v = con.representative_edge(comp_u, comp_v)
+            level_src.append(rep_u)
+            level_dst.append(rep_v)
+        sub_src = np.concatenate(level_src)
+        sub_dst = np.concatenate(level_dst)
+    return sub_src, sub_dst
+
+
+def verify_spanning_forest(
+    graph: CSRGraph, src: np.ndarray, dst: np.ndarray
+) -> None:
+    """Raise :class:`VerificationError` unless (src, dst) spans *graph*.
+
+    Checks: every forest edge is a real graph edge; the forest is
+    acyclic; its size is n - #components; and it connects exactly the
+    graph's components.
+    """
+    from repro.analysis.verify import ground_truth_labels
+
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    if src.shape != dst.shape:
+        raise VerificationError("forest src/dst must have equal length")
+    n = graph.num_vertices
+    # edges must exist in the graph
+    gsrc, gdst = graph.edge_array()
+    real = set(zip(gsrc.tolist(), gdst.tolist()))
+    for u, v in zip(src.tolist(), dst.tolist()):
+        if (u, v) not in real and (v, u) not in real:
+            raise VerificationError(f"forest edge ({u}, {v}) is not a graph edge")
+    # acyclic + count
+    labels = ground_truth_labels(graph)
+    num_components = int(np.unique(labels).size) if n else 0
+    if src.size != n - num_components:
+        raise VerificationError(
+            f"forest has {src.size} edges; expected n - c = {n - num_components}"
+        )
+    uf = UnionFind(n)
+    for u, v in zip(src.tolist(), dst.tolist()):
+        if not uf.union(u, v):
+            raise VerificationError(f"forest edge ({u}, {v}) closes a cycle")
+    uf.flush_costs()
+    # spanning: same partition as the graph
+    forest_labels = uf.components()
+    from repro.connectivity.base import canonicalize_labels
+
+    if not np.array_equal(
+        canonicalize_labels(forest_labels), canonicalize_labels(labels)
+    ):
+        raise VerificationError("forest does not span the graph's components")

@@ -1,0 +1,50 @@
+"""Low-diameter graph decomposition (Miller-Peng-Xu) — the paper's core.
+
+Three implementations with identical interfaces:
+
+* :func:`~repro.decomp.decomp_min.decomp_min` — Algorithm 2, the
+  faithful writeMin rule (beta*m inter-edge bound, two phases/round);
+* :func:`~repro.decomp.decomp_arb.decomp_arb` — Algorithm 3, arbitrary
+  tie-breaking (2*beta*m bound, one phase/round) — the paper's
+  contribution;
+* :func:`~repro.decomp.decomp_arb_hybrid.decomp_arb_hybrid` —
+  Decomp-Arb with direction-optimizing dense rounds + filterEdges.
+
+Plus :func:`~repro.decomp.contract.contract` (partition contraction)
+and the shift-schedule machinery in :mod:`repro.decomp.shifts`.
+"""
+
+from repro.decomp.base import UNVISITED, Decomposition, DecompState
+from repro.decomp.contract import Contraction, contract
+from repro.decomp.decomp_arb import decomp_arb
+from repro.decomp.decomp_arb_hybrid import decomp_arb_hybrid
+from repro.decomp.decomp_min import decomp_min
+from repro.decomp.shifts import FRAC_BITS, ShiftSchedule
+
+__all__ = [
+    "Contraction",
+    "Decomposition",
+    "DecompState",
+    "FRAC_BITS",
+    "LowDiameterDecomposition",
+    "ShiftSchedule",
+    "UNVISITED",
+    "contract",
+    "decomp_arb",
+    "decomp_arb_hybrid",
+    "decomp_min",
+    "low_diameter_decomposition",
+]
+
+#: Registry used by the connectivity driver and the experiment harness.
+DECOMP_VARIANTS = {
+    "min": decomp_min,
+    "arb": decomp_arb,
+    "arb-hybrid": decomp_arb_hybrid,
+}
+
+# The facade imports DECOMP_VARIANTS, so it loads after the registry.
+from repro.decomp.facade import (  # noqa: E402
+    LowDiameterDecomposition,
+    low_diameter_decomposition,
+)

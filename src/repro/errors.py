@@ -1,0 +1,44 @@
+"""Shared exception types for the ``repro`` package.
+
+Keeping a small, explicit exception hierarchy lets callers distinguish
+user errors (bad graph input, bad parameters) from internal invariant
+violations without string-matching messages.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class GraphFormatError(ReproError):
+    """Raised when an edge list / CSR structure is malformed.
+
+    Examples: negative vertex ids, offsets array that is not monotone,
+    an edge endpoint that is out of range for the declared vertex count.
+    """
+
+
+class ParameterError(ReproError, ValueError):
+    """Raised when an algorithm parameter is outside its legal range.
+
+    The decomposition parameter ``beta`` must lie in (0, 1) for
+    Decomp-Min and (0, 1/2) is required for the linear-work guarantee of
+    the arbitrary-tie-break variants; a non-positive thread count or a
+    negative seed also raise this.
+    """
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative algorithm exceeds its round budget.
+
+    All fixed-point loops in this package (pointer jumping, label
+    propagation, hash-table probing) carry explicit round limits far
+    above their theoretical bounds; hitting one indicates a bug rather
+    than a hard input, so we fail loudly instead of spinning.
+    """
+
+
+class VerificationError(ReproError):
+    """Raised by :mod:`repro.analysis.verify` when a labeling is invalid."""

@@ -1,0 +1,127 @@
+"""Machine-model calibration: measure per-kind costs on real hardware.
+
+The machine model's default constants (``repro/pram/machine.py``) were
+chosen so that the *single-thread ordering* of the eight
+implementations matches the paper's Table 2 column and the parallel
+shapes match its figures (DESIGN.md §5).  This module provides the
+measurement side: micro-benchmarks of the NumPy kernels behind each
+cost kind on the current machine, yielding a per-kind ns/op profile a
+user can feed back into :class:`~repro.pram.machine.MachineModel` to
+ground the simulation in their own hardware's memory hierarchy.
+
+The micro-benchmarks deliberately mirror how the algorithms use each
+kind:
+
+========  =====================================================
+scan      unit-stride cumulative sum over a large array
+gather    random-index reads (CSR neighbor/label lookups)
+scatter   random-index writes (frontier marking)
+atomic    ``np.minimum.at`` with colliding indices (writeMin)
+sort      one 16-bit stable argsort pass (the radix kernel)
+hash      one linear-probe round (hash + gather + compare)
+alloc     array allocation + fill
+seq       Python-level pointer chasing (union-find's inner loop)
+========  =====================================================
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.pram.cost import KINDS
+
+__all__ = ["measure_kind_costs", "suggest_machine_constants"]
+
+
+def _time_ns_per_op(fn: Callable[[], int], repeats: int = 3) -> float:
+    """Best-of-N wall time divided by the op count *fn* reports."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        ops = fn()
+        dt = time.perf_counter() - t0
+        best = min(best, dt / max(ops, 1))
+    return best * 1e9
+
+
+def measure_kind_costs(n: int = 1_000_000, seed: int = 0) -> Dict[str, float]:
+    """Measured ns/op for every cost kind, on this machine.
+
+    *n* sizes the working arrays (must exceed cache to reflect memory
+    behaviour; 10^6 int64 = 8 MB per array).
+    """
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, n, size=n).astype(np.int64)
+    idx = rng.integers(0, n, size=n).astype(np.int64)
+    out = np.zeros(n, dtype=np.int64)
+    small_idx = rng.integers(0, n // 64, size=n).astype(np.int64)  # collisions
+
+    def scan() -> int:
+        np.cumsum(data)
+        return n
+
+    def gather() -> int:
+        data[idx]
+        return n
+
+    def scatter() -> int:
+        out[idx] = data
+        return n
+
+    def atomic() -> int:
+        np.minimum.at(out, small_idx, data)
+        return n
+
+    def sort_pass() -> int:
+        np.argsort(data & 0xFFFF, kind="stable")
+        return n
+
+    def hash_probe() -> int:
+        h = (data * np.int64(0x9E3779B9)) & (n - 1 if (n & (n - 1)) == 0 else n)
+        occupied = out[h % n]
+        np.count_nonzero(occupied == data)
+        return n
+
+    def alloc() -> int:
+        np.zeros(n, dtype=np.int64)
+        return n
+
+    def seq() -> int:
+        # Python-level pointer chasing, the serial union-find regime.
+        parent = list(range(10_000))
+        x = 0
+        for i in range(10_000):
+            x = parent[x ^ i % 10_000]
+        return 10_000
+
+    kernels = {
+        "scan": scan,
+        "gather": gather,
+        "scatter": scatter,
+        "atomic": atomic,
+        "sort": sort_pass,
+        "hash": hash_probe,
+        "alloc": alloc,
+        "seq": seq,
+    }
+    assert set(kernels) == set(KINDS)
+    return {kind: _time_ns_per_op(fn) for kind, fn in kernels.items()}
+
+
+def suggest_machine_constants(
+    n: int = 1_000_000, seed: int = 0
+) -> Dict[str, float]:
+    """A ``kind_cost_ns`` mapping measured on this machine.
+
+    Normalised so that ``scan`` costs what the default model charges —
+    the *relative* kind costs are what the measurement contributes;
+    absolute scale is a free parameter of the simulation.
+    """
+    from repro.pram.machine import DEFAULT_KIND_COST_NS
+
+    measured = measure_kind_costs(n=n, seed=seed)
+    scale = DEFAULT_KIND_COST_NS["scan"] / max(measured["scan"], 1e-12)
+    return {kind: ns * scale for kind, ns in measured.items()}

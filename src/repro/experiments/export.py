@@ -1,0 +1,66 @@
+"""Export experiment artifacts to JSON / CSV for external plotting.
+
+The benchmark modules print ASCII renderings; anyone regenerating the
+paper's figures with matplotlib/gnuplot wants machine-readable series
+instead.  These helpers write the exact data structures the
+``fig*``/``run_table*`` builders return.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Sequence, Union
+
+__all__ = ["export_json", "export_table2_csv", "export_series_csv"]
+
+PathLike = Union[str, os.PathLike]
+
+
+def export_json(data: Any, path: PathLike) -> None:
+    """Write any artifact structure as pretty-printed JSON.
+
+    Dict keys are coerced to strings (JSON requirement) — beta values
+    and edge counts round-trip via ``float()``/``int()`` on load.
+    """
+
+    def _keyfix(obj: Any) -> Any:
+        if isinstance(obj, Mapping):
+            return {str(k): _keyfix(v) for k, v in obj.items()}
+        if isinstance(obj, (list, tuple)):
+            return [_keyfix(v) for v in obj]
+        return obj
+
+    Path(path).write_text(json.dumps(_keyfix(data), indent=2, sort_keys=True))
+
+
+def export_table2_csv(
+    table: Dict[str, Dict[str, Dict[str, float]]], path: PathLike
+) -> None:
+    """Table 2 as long-form CSV: algorithm, graph, threads, seconds."""
+    with Path(path).open("w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["algorithm", "graph", "threads", "seconds"])
+        for algo, row in table.items():
+            for graph, cells in row.items():
+                for threads in ("1", "40h"):
+                    if threads in cells:
+                        writer.writerow([algo, graph, threads, cells[threads]])
+
+
+def export_series_csv(
+    series: Dict[str, Dict], path: PathLike, x_name: str = "x", y_name: str = "y"
+) -> None:
+    """Any ``{series_name: {x: y}}`` structure as long-form CSV.
+
+    Fits Figure 2 (``{algo: {threads: seconds}}``), Figure 3
+    (``{variant: {beta: seconds}}``) and friends.
+    """
+    with Path(path).open("w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["series", x_name, y_name])
+        for name, points in series.items():
+            for x, y in points.items():
+                writer.writerow([name, x, y])

@@ -1,0 +1,250 @@
+"""Figure series builders: the data behind the paper's Figures 2-8.
+
+Each ``fig*`` function returns plain nested dicts/lists (JSON-shaped)
+so the benches can print them and the tests can assert on their shapes;
+:func:`ascii_series` renders a quick log-scale text plot for terminal
+inspection.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.harness import RunProfile, profile_run
+from repro.experiments.registry import (
+    PAPER_ALGORITHM_ORDER,
+    build_graph,
+)
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import random_kregular
+from repro.pram.machine import MachineModel, paper_thread_sweep
+
+__all__ = [
+    "fig2_thread_sweep",
+    "fig3_beta_sweep",
+    "fig4_edges_remaining",
+    "fig5_breakdown_min",
+    "fig6_breakdown_arb",
+    "fig7_breakdown_hybrid",
+    "fig8_size_scaling",
+    "ascii_series",
+    "FIG3_GRAPHS",
+    "FIG4_BETAS",
+    "BREAKDOWN_GRAPHS",
+]
+
+#: The graphs Figures 3-7 plot (paper's subplot choices).
+FIG3_GRAPHS: List[str] = ["random", "rMat", "3D-grid", "line"]
+BREAKDOWN_GRAPHS: List[str] = ["random", "rMat", "3D-grid", "line"]
+#: Figure 4's beta values; the line graph uses a lower range because
+#: its decomposition only profits from very small beta.
+FIG4_BETAS: List[float] = [0.1, 0.2, 0.3, 0.4, 0.5]
+FIG4_BETAS_LINE: List[float] = [0.003, 0.008, 0.02, 0.04, 0.06, 0.08, 0.1, 0.2]
+
+_DECOMP_VARIANTS = ["decomp-arb-CC", "decomp-arb-hybrid-CC", "decomp-min-CC"]
+
+
+def fig2_thread_sweep(
+    graph: CSRGraph,
+    graph_name: str,
+    algorithms: Optional[Sequence[str]] = None,
+    beta: float = 0.2,
+    seed: int = 1,
+) -> Dict[str, Dict[str, float]]:
+    """Figure 2: simulated seconds vs thread count, per implementation.
+
+    Returns ``{algorithm: {thread_label: seconds}}``; serial-SF appears
+    as a flat line (its work is sequential by construction), matching
+    the paper's horizontal reference.
+    """
+    algorithms = list(algorithms) if algorithms else PAPER_ALGORITHM_ORDER
+    series: Dict[str, Dict[str, float]] = {}
+    for algo in algorithms:
+        kwargs = {"beta": beta, "seed": seed} if algo.startswith("decomp-") else {}
+        prof = profile_run(algo, graph, graph_name=graph_name, verify=False, **kwargs)
+        series[algo] = prof.sweep(paper_thread_sweep())
+    return series
+
+
+def fig3_beta_sweep(
+    graph: CSRGraph,
+    graph_name: str,
+    betas: Optional[Sequence[float]] = None,
+    threads: str = "40h",
+    seed: int = 1,
+) -> Dict[str, Dict[float, float]]:
+    """Figure 3: 40-core simulated time vs beta for the three variants.
+
+    Returns ``{variant: {beta: seconds}}``.  The paper's finding: the
+    minimum sits between beta = 0.05 and 0.2 — small beta means fewer,
+    bigger partitions per level but more BFS rounds; large beta means
+    many levels of recursion.
+    """
+    betas = list(betas) if betas is not None else [
+        0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9,
+    ]
+    out: Dict[str, Dict[float, float]] = {}
+    for variant in _DECOMP_VARIANTS:
+        out[variant] = {}
+        for beta in betas:
+            prof = profile_run(
+                variant, graph, graph_name=graph_name, verify=False,
+                beta=beta, seed=seed,
+            )
+            out[variant][beta] = prof.seconds_at(threads)
+    return out
+
+
+def fig4_edges_remaining(
+    graph: CSRGraph,
+    graph_name: str,
+    betas: Optional[Sequence[float]] = None,
+    seed: int = 1,
+) -> Dict[float, List[int]]:
+    """Figure 4: undirected edges entering each CC iteration, per beta.
+
+    Uses decomp-arb-hybrid-CC like the paper.  Returns
+    ``{beta: [m_0, m_1, ...]}``; the drop is much sharper than the
+    2*beta bound on everything but the line graph because contraction
+    merges duplicate edges.
+    """
+    if betas is None:
+        betas = FIG4_BETAS_LINE if graph_name == "line" else FIG4_BETAS
+    out: Dict[float, List[int]] = {}
+    for beta in betas:
+        prof = profile_run(
+            "decomp-arb-hybrid-CC", graph, graph_name=graph_name,
+            verify=False, beta=beta, seed=seed,
+        )
+        out[float(beta)] = list(prof.result.edges_per_iteration)
+    return out
+
+
+def _breakdown(
+    variant: str,
+    phases: Sequence[str],
+    graphs: Optional[Sequence[str]],
+    scale: str,
+    beta: float,
+    seed: int,
+    threads: str = "40h",
+) -> Dict[str, Dict[str, float]]:
+    names = list(graphs) if graphs else BREAKDOWN_GRAPHS
+    out: Dict[str, Dict[str, float]] = {}
+    for name in names:
+        graph = build_graph(name, scale)
+        prof = profile_run(
+            variant, graph, graph_name=name, verify=False, beta=beta, seed=seed
+        )
+        per_phase = prof.phase_seconds_at(threads)
+        out[name] = {p: per_phase.get(p, 0.0) for p in phases}
+        leftover = sum(v for k, v in per_phase.items() if k not in phases)
+        out[name]["other"] = leftover
+    return out
+
+
+def fig5_breakdown_min(
+    graphs: Optional[Sequence[str]] = None,
+    scale: str = "small",
+    beta: float = 0.2,
+    seed: int = 1,
+) -> Dict[str, Dict[str, float]]:
+    """Figure 5: decomp-min-CC 40-core phase breakdown.
+
+    Phases: init / bfsPre / bfsPhase1 / bfsPhase2 / contractGraph; the
+    paper sees 80-90 % of time in the two BFS phases, phase 1 heavier.
+    """
+    return _breakdown(
+        "decomp-min-CC",
+        ["init", "bfsPre", "bfsPhase1", "bfsPhase2", "contractGraph"],
+        graphs, scale, beta, seed,
+    )
+
+
+def fig6_breakdown_arb(
+    graphs: Optional[Sequence[str]] = None,
+    scale: str = "small",
+    beta: float = 0.2,
+    seed: int = 1,
+) -> Dict[str, Dict[str, float]]:
+    """Figure 6: decomp-arb-CC breakdown (bfsMain replaces the 2 phases).
+
+    Paper: 55-75 % of time in bfsMain — the single-pass saving over
+    decomp-min is exactly here.
+    """
+    return _breakdown(
+        "decomp-arb-CC",
+        ["init", "bfsPre", "bfsMain", "contractGraph"],
+        graphs, scale, beta, seed,
+    )
+
+
+def fig7_breakdown_hybrid(
+    graphs: Optional[Sequence[str]] = None,
+    scale: str = "small",
+    beta: float = 0.2,
+    seed: int = 1,
+) -> Dict[str, Dict[str, float]]:
+    """Figure 7: decomp-arb-hybrid-CC breakdown (sparse/dense/filter).
+
+    Paper: 3D-grid and line never go dense (all time in bfsSparse);
+    random and rMat do, paying filterEdges in exchange.
+    """
+    return _breakdown(
+        "decomp-arb-hybrid-CC",
+        ["init", "bfsPre", "bfsSparse", "bfsDense", "filterEdges", "contractGraph"],
+        graphs, scale, beta, seed,
+    )
+
+
+def fig8_size_scaling(
+    edge_counts: Optional[Sequence[int]] = None,
+    threads: str = "40h",
+    beta: float = 0.2,
+    seed: int = 1,
+) -> Dict[int, float]:
+    """Figure 8: decomp-arb-hybrid-CC time vs problem size (random graphs).
+
+    The paper sweeps m = 5e7..5e8 with n = m/5; we keep n = m/5 and
+    scale m down.  Returns ``{num_generated_edges: seconds}`` — the
+    series should be near-linear in m.
+    """
+    if edge_counts is None:
+        edge_counts = [100_000, 200_000, 300_000, 400_000, 500_000]
+    out: Dict[int, float] = {}
+    for m in edge_counts:
+        n = max(m // 5, 10)
+        graph = random_kregular(n, 5, seed=seed)
+        prof = profile_run(
+            "decomp-arb-hybrid-CC", graph, graph_name=f"random-m{m}",
+            verify=False, beta=beta, seed=seed,
+        )
+        out[int(m)] = prof.seconds_at(threads)
+    return out
+
+
+def ascii_series(
+    series: Dict[str, Dict], width: int = 60, log: bool = True
+) -> str:
+    """Tiny terminal rendering of ``{name: {x: y}}`` series (bars per x)."""
+    lines: List[str] = []
+    for name, points in series.items():
+        lines.append(f"{name}:")
+        vals = list(points.values())
+        finite = [v for v in vals if v and v > 0]
+        lo = min(finite) if finite else 1.0
+        hi = max(finite) if finite else 1.0
+        for x, y in points.items():
+            if log and y and y > 0 and hi > lo:
+                frac = (math.log(y) - math.log(lo)) / (math.log(hi) - math.log(lo))
+            elif hi > lo:
+                frac = (y - lo) / (hi - lo)
+            else:
+                frac = 1.0
+            bar = "#" * max(1, int(frac * width))
+            if isinstance(y, float):
+                lines.append(f"  {str(x):>8} | {bar} {y:.4g}")
+            else:
+                lines.append(f"  {str(x):>8} | {bar} {y}")
+    return "\n".join(lines)

@@ -1,0 +1,145 @@
+"""Graph I/O: SNAP-style edge-list text and compact ``.npz`` binaries.
+
+The paper loads com-Orkut from SNAP's whitespace edge-list format; this
+module reads/writes that format (so a user with network access can drop
+the real file in) plus a fast ``.npz`` container for generated inputs.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from pathlib import Path
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graphs.builder import from_edges
+from repro.graphs.csr import CSRGraph
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "read_adjacency_graph",
+    "write_adjacency_graph",
+    "save_npz",
+    "load_npz",
+]
+
+PathLike = Union[str, os.PathLike]
+
+
+def read_edge_list(path: PathLike, num_vertices: int | None = None) -> CSRGraph:
+    """Read a SNAP-style whitespace edge list into a symmetric CSR graph.
+
+    Lines starting with ``#`` (SNAP headers) are ignored; each remaining
+    line must hold two non-negative integers ``u v``.  The result is
+    symmetrized and deduplicated like every other input.
+    """
+    import warnings
+
+    path = Path(path)
+    try:
+        with warnings.catch_warnings():
+            warnings.filterwarnings("ignore", message=".*no data.*")
+            data = np.loadtxt(path, dtype=np.int64, comments="#", ndmin=2)
+    except ValueError as exc:
+        raise GraphFormatError(f"malformed edge list in {path}: {exc}") from exc
+    if data.size == 0:
+        return from_edges(
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            num_vertices=num_vertices or 0,
+        )
+    if data.shape[1] != 2:
+        raise GraphFormatError(
+            f"edge list in {path} must have two columns, got {data.shape[1]}"
+        )
+    return from_edges(data[:, 0], data[:, 1], num_vertices=num_vertices)
+
+
+def write_edge_list(graph: CSRGraph, path: PathLike, header: str = "") -> None:
+    """Write each undirected edge once in SNAP format (``u<TAB>v``)."""
+    from repro.graphs.ops import edges_as_undirected_pairs
+
+    src, dst = edges_as_undirected_pairs(graph)
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        if header:
+            for line in header.splitlines():
+                fh.write(f"# {line}\n")
+        fh.write(f"# Nodes: {graph.num_vertices} Edges: {src.size}\n")
+        np.savetxt(fh, np.column_stack((src, dst)), fmt="%d", delimiter="\t")
+
+
+def read_adjacency_graph(path: PathLike, symmetric: bool = True) -> CSRGraph:
+    """Read PBBS's ``AdjacencyGraph`` text format.
+
+    The format the paper's own benchmark suite uses::
+
+        AdjacencyGraph
+        <n>
+        <m>
+        <n vertex offsets>
+        <m edge targets>
+
+    one token per line (whitespace-separated tokens are also accepted).
+    ``symmetric`` declares whether the stored edges are already
+    mirrored (PBBS stores symmetric graphs that way, as does this
+    package's writer).
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        header = fh.readline().strip()
+        if header != "AdjacencyGraph":
+            raise GraphFormatError(
+                f"{path}: expected 'AdjacencyGraph' header, got {header!r}"
+            )
+        tokens = fh.read().split()
+    if len(tokens) < 2:
+        raise GraphFormatError(f"{path}: missing n/m counts")
+    try:
+        n, m = int(tokens[0]), int(tokens[1])
+        values = np.array(tokens[2:], dtype=np.int64)
+    except ValueError as exc:
+        raise GraphFormatError(f"{path}: non-integer token: {exc}") from exc
+    if values.size != n + m:
+        raise GraphFormatError(
+            f"{path}: expected {n} offsets + {m} targets, got {values.size} values"
+        )
+    offsets = np.concatenate((values[:n], [m]))
+    return CSRGraph(offsets=offsets, targets=values[n:], symmetric=symmetric)
+
+
+def write_adjacency_graph(graph: CSRGraph, path: PathLike) -> None:
+    """Write PBBS's ``AdjacencyGraph`` text format (see the reader)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write("AdjacencyGraph\n")
+        fh.write(f"{graph.num_vertices}\n{graph.num_directed}\n")
+        np.savetxt(fh, graph.offsets[:-1], fmt="%d")
+        np.savetxt(fh, graph.targets, fmt="%d")
+
+
+def save_npz(graph: CSRGraph, path: PathLike) -> None:
+    """Persist a CSR graph losslessly (offsets + targets + flags)."""
+    np.savez_compressed(
+        Path(path),
+        offsets=graph.offsets,
+        targets=graph.targets,
+        symmetric=np.array([graph.symmetric]),
+    )
+
+
+def load_npz(path: PathLike) -> CSRGraph:
+    """Load a graph written by :func:`save_npz`."""
+    with np.load(Path(path)) as data:
+        try:
+            return CSRGraph(
+                offsets=data["offsets"],
+                targets=data["targets"],
+                symmetric=bool(data["symmetric"][0]),
+            )
+        except KeyError as exc:
+            raise GraphFormatError(f"{path} is not a repro graph file") from exc

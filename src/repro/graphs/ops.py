@@ -1,0 +1,105 @@
+"""Structural graph operations: relabeling, subgraphs, degree stats.
+
+Support routines shared by contraction, verification and the
+experiment harness.  All bulk operations are vectorized and charge
+their PRAM cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graphs.builder import from_directed_edges
+from repro.graphs.csr import CSRGraph
+from repro.pram.cost import current_tracker
+
+__all__ = [
+    "relabel_graph",
+    "degree_statistics",
+    "isolated_vertices",
+    "induced_subgraph",
+    "edges_as_undirected_pairs",
+]
+
+
+def relabel_graph(graph: CSRGraph, new_labels: np.ndarray) -> CSRGraph:
+    """Apply a bijective relabeling ``v -> new_labels[v]``.
+
+    Used to randomize vertex labels (the paper randomly assigns labels
+    to its synthetic inputs so label order carries no information).
+    """
+    new_labels = np.asarray(new_labels, dtype=np.int64)
+    n = graph.num_vertices
+    if new_labels.shape != (n,):
+        raise GraphFormatError("new_labels must have one entry per vertex")
+    if n and (
+        new_labels.min() < 0
+        or new_labels.max() >= n
+        or np.unique(new_labels).size != n
+    ):
+        raise GraphFormatError("new_labels must be a permutation of range(n)")
+    src, dst = graph.edge_array()
+    current_tracker().add("gather", work=float(2 * src.size), depth=1.0)
+    return from_directed_edges(
+        new_labels[src], new_labels[dst], n, symmetric=graph.symmetric
+    )
+
+
+def degree_statistics(graph: CSRGraph) -> Dict[str, float]:
+    """Min/max/mean degree and isolated-vertex count (Table 1 support)."""
+    deg = graph.degrees
+    current_tracker().add("scan", work=float(deg.size), depth=1.0)
+    if deg.size == 0:
+        return {"min": 0.0, "max": 0.0, "mean": 0.0, "isolated": 0.0}
+    return {
+        "min": float(deg.min()),
+        "max": float(deg.max()),
+        "mean": float(deg.mean()),
+        "isolated": float(np.count_nonzero(deg == 0)),
+    }
+
+
+def isolated_vertices(graph: CSRGraph) -> np.ndarray:
+    """Vertices with degree zero (singleton components)."""
+    current_tracker().add("scan", work=float(graph.num_vertices), depth=1.0)
+    return np.flatnonzero(graph.degrees == 0)
+
+
+def induced_subgraph(
+    graph: CSRGraph, vertices: np.ndarray
+) -> Tuple[CSRGraph, np.ndarray]:
+    """The subgraph induced by *vertices*, with compacted ids.
+
+    Returns ``(subgraph, old_ids)`` where ``old_ids[i]`` is the original
+    id of the subgraph's vertex ``i``.
+    """
+    vertices = np.unique(np.asarray(vertices, dtype=np.int64))
+    n = graph.num_vertices
+    if vertices.size and (vertices.min() < 0 or vertices.max() >= n):
+        raise GraphFormatError("vertex id out of range")
+    in_set = np.zeros(n, dtype=bool)
+    in_set[vertices] = True
+    new_id = np.full(n, -1, dtype=np.int64)
+    new_id[vertices] = np.arange(vertices.size, dtype=np.int64)
+    src, dst = graph.edge_array()
+    keep = in_set[src] & in_set[dst]
+    current_tracker().add("gather", work=float(2 * src.size), depth=1.0)
+    sub = from_directed_edges(
+        new_id[src[keep]], new_id[dst[keep]], vertices.size, symmetric=graph.symmetric
+    )
+    return sub, vertices
+
+
+def edges_as_undirected_pairs(graph: CSRGraph) -> Tuple[np.ndarray, np.ndarray]:
+    """Each undirected edge once, as (min-endpoint, max-endpoint) arrays.
+
+    The representation the spanning-forest baselines consume (the paper
+    notes SF codes store each edge in one direction only).
+    """
+    src, dst = graph.edge_array()
+    current_tracker().add("scan", work=float(src.size), depth=1.0)
+    keep = src < dst
+    return src[keep], dst[keep]

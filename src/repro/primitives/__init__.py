@@ -1,0 +1,69 @@
+"""Parallel primitives: scan, pack, reduce, integer sort, hashing, atomics.
+
+These are the substrate routines the paper's implementation builds on
+(PBBS-style): prefix sums for offsets and compaction, a linear-work
+radix integer sort, a phase-concurrent hash table for duplicate-edge
+removal, parallel random permutations, and the CRCW write-conflict
+primitives (``writeMin``, arbitrary CAS) that distinguish Decomp-Min
+from Decomp-Arb.  Every routine runs as one or more vectorized NumPy
+passes and charges its PRAM work/depth to the ambient cost tracker.
+"""
+
+from repro.primitives.atomics import (
+    decode_pair,
+    encode_pair,
+    first_winner,
+    write_min,
+)
+from repro.primitives.hashing import HashTable, dedup
+from repro.primitives.pack import pack, pack_index, split_by_flag
+from repro.primitives.rand import (
+    exponential_shifts,
+    hash_randoms,
+    random_permutation,
+    splitmix64,
+    uniform_fractions,
+)
+from repro.primitives.reduce_ops import (
+    count_true,
+    histogram,
+    reduce_max,
+    reduce_min,
+    reduce_sum,
+)
+from repro.primitives.scan import (
+    exclusive_scan,
+    inclusive_scan,
+    scan_with_total,
+    segmented_scan,
+)
+from repro.primitives.sort import radix_argsort, radix_sort, sort_pairs_by_key
+
+__all__ = [
+    "HashTable",
+    "count_true",
+    "decode_pair",
+    "dedup",
+    "encode_pair",
+    "exclusive_scan",
+    "exponential_shifts",
+    "first_winner",
+    "hash_randoms",
+    "histogram",
+    "inclusive_scan",
+    "pack",
+    "pack_index",
+    "radix_argsort",
+    "radix_sort",
+    "random_permutation",
+    "reduce_max",
+    "reduce_min",
+    "reduce_sum",
+    "scan_with_total",
+    "segmented_scan",
+    "sort_pairs_by_key",
+    "split_by_flag",
+    "splitmix64",
+    "uniform_fractions",
+    "write_min",
+]

@@ -1,0 +1,56 @@
+"""API quality gates: docstrings and export hygiene for every module."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not name.startswith("repro.__")
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), module_name
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_all_exports_exist_and_documented(module_name):
+    module = importlib.import_module(module_name)
+    exported = getattr(module, "__all__", None)
+    if exported is None:
+        return
+    for name in exported:
+        assert hasattr(module, name), f"{module_name}.__all__ lists missing {name}"
+        obj = getattr(module, name)
+        if inspect.isfunction(obj) or inspect.isclass(obj):
+            assert obj.__doc__ and obj.__doc__.strip(), (
+                f"{module_name}.{name} lacks a docstring"
+            )
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_functions_documented(module_name):
+    """Every public def/class in a module carries a docstring."""
+    module = importlib.import_module(module_name)
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if inspect.isfunction(obj) or inspect.isclass(obj):
+            if getattr(obj, "__module__", None) != module_name:
+                continue  # re-export; documented at its home
+            assert obj.__doc__ and obj.__doc__.strip(), (
+                f"{module_name}.{name} lacks a docstring"
+            )
+
+
+def test_version_exported():
+    assert isinstance(repro.__version__, str)
+    assert repro.__version__.count(".") == 2

@@ -1,0 +1,43 @@
+"""Tests for the machine-model calibration micro-benchmarks."""
+
+import pytest
+
+from repro.experiments.calibration import measure_kind_costs, suggest_machine_constants
+from repro.pram.cost import KINDS
+from repro.pram.machine import MachineModel
+
+
+class TestCalibration:
+    @pytest.fixture(scope="class")
+    def costs(self):
+        # small n keeps the test quick; relative ordering still holds
+        return measure_kind_costs(n=200_000, seed=1)
+
+    def test_covers_all_kinds(self, costs):
+        assert set(costs) == set(KINDS)
+
+    def test_all_positive(self, costs):
+        assert all(v > 0 for v in costs.values())
+
+    def test_sorting_costlier_than_streaming(self, costs):
+        # robust ordering on any machine: a stable argsort pass costs
+        # far more per element than a cumulative sum
+        assert costs["sort"] > 3 * costs["scan"]
+
+    def test_seq_python_much_costlier_than_vectorized(self, costs):
+        assert costs["seq"] > 5 * costs["scan"]
+
+    def test_suggested_constants_feed_the_model(self):
+        constants = suggest_machine_constants(n=100_000, seed=2)
+        model = MachineModel(threads=4, kind_cost_ns=constants)
+        from repro.pram.cost import CostTracker
+
+        t = CostTracker()
+        t.add("gather", work=1e6)
+        assert model.time_seconds(t) > 0
+
+    def test_suggested_normalised_to_default_scan(self):
+        from repro.pram.machine import DEFAULT_KIND_COST_NS
+
+        constants = suggest_machine_constants(n=100_000, seed=3)
+        assert constants["scan"] == pytest.approx(DEFAULT_KIND_COST_NS["scan"])

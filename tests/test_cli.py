@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_graph(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "serial-SF", "petersen"])
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "quantum-CC", "line"])
+
+    def test_scale_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--scale", "galactic", "list"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        code, out = run_cli(capsys, "list")
+        assert code == 0
+        assert "decomp-arb-CC" in out
+        assert "com-Orkut" in out
+        assert "Table 2" in out
+
+    def test_run_decomp(self, capsys):
+        code, out = run_cli(
+            capsys, "--scale", "tiny", "run", "decomp-arb-CC", "line",
+            "--beta", "0.1", "--seed", "3",
+        )
+        assert code == 0
+        assert "components : 1" in out
+        assert "verified   : OK" in out
+        assert "T(   1)" in out and "T( 40h)" in out
+
+    def test_run_baseline_no_verify(self, capsys):
+        code, out = run_cli(
+            capsys, "--scale", "tiny", "run", "serial-SF", "3D-grid", "--no-verify"
+        )
+        assert code == 0
+        assert "components : 1" in out
+        assert "verified" not in out
+
+    def test_run_custom_threads(self, capsys):
+        code, out = run_cli(
+            capsys, "--scale", "tiny", "run", "multistep-CC", "random",
+            "--threads", "1", "8", "40h",
+        )
+        assert code == 0
+        assert "T(   8)" in out
+
+    def test_decompose(self, capsys):
+        code, out = run_cli(
+            capsys, "--scale", "tiny", "decompose", "3D-grid", "--beta", "0.3"
+        )
+        assert code == 0
+        assert "inter-edge fraction" in out
+        assert "max radius" in out
+
+    def test_forest(self, capsys):
+        code, out = run_cli(capsys, "--scale", "tiny", "forest", "random")
+        assert code == 0
+        assert "forest edges" in out
+        assert "verified" in out
+
+    def test_table1(self, capsys):
+        code, out = run_cli(capsys, "--scale", "tiny", "table1")
+        assert code == 0
+        assert "Input Graph" in out
+        assert "line" in out
+
+    def test_table2_subset_runs(self, capsys):
+        code, out = run_cli(capsys, "--scale", "tiny", "table2")
+        assert code == 0
+        assert "Implementation" in out
+        assert "decomp-arb-hybrid-CC" in out
+
+    @pytest.mark.parametrize("number", ["3", "4"])
+    def test_figures_on_tiny_graph(self, capsys, number):
+        code, out = run_cli(
+            capsys, "--scale", "tiny", "figure", number, "--graph", "line"
+        )
+        assert code == 0
+        assert "#" in out  # ascii bars rendered
+
+    def test_figure5(self, capsys):
+        code, out = run_cli(capsys, "--scale", "tiny", "figure", "5")
+        assert code == 0
+        assert "bfsPhase1" in out

@@ -1,0 +1,95 @@
+"""Cross-algorithm equivalence: every implementation solves connectivity.
+
+The central integration test of the repository: all ten connectivity
+implementations must induce the same vertex partition as networkx on
+every zoo graph, at several seeds for the randomized ones.
+"""
+
+import numpy as np
+import pytest
+
+from repro.connectivity import (
+    canonicalize_labels,
+    decomp_cc,
+    hybrid_bfs_cc,
+    label_prop_cc,
+    multistep_cc,
+    parallel_sf_pbbs_cc,
+    parallel_sf_prm_cc,
+    serial_sf_cc,
+    shiloach_vishkin_cc,
+)
+from repro.analysis.verify import ground_truth_labels, verify_labeling
+
+from tests.conftest import zoo_params
+
+ALGOS = [
+    pytest.param(lambda g: decomp_cc(g, 0.2, variant="min", seed=5), id="decomp-min"),
+    pytest.param(lambda g: decomp_cc(g, 0.2, variant="arb", seed=5), id="decomp-arb"),
+    pytest.param(
+        lambda g: decomp_cc(g, 0.2, variant="arb-hybrid", seed=5), id="decomp-hybrid"
+    ),
+    pytest.param(serial_sf_cc, id="serial-SF"),
+    pytest.param(parallel_sf_pbbs_cc, id="SF-PBBS"),
+    pytest.param(parallel_sf_prm_cc, id="SF-PRM"),
+    pytest.param(hybrid_bfs_cc, id="hybrid-BFS"),
+    pytest.param(multistep_cc, id="multistep"),
+    pytest.param(label_prop_cc, id="label-prop"),
+    pytest.param(shiloach_vishkin_cc, id="shiloach-vishkin"),
+]
+
+
+@pytest.mark.parametrize("algo", ALGOS)
+@pytest.mark.parametrize("graph", zoo_params())
+def test_labels_match_ground_truth(algo, graph):
+    result = algo(graph)
+    verify_labeling(graph, result.labels)
+
+
+@pytest.mark.parametrize("algo", ALGOS)
+@pytest.mark.parametrize("graph", zoo_params())
+def test_labels_match_networkx(algo, graph):
+    import networkx as nx
+
+    G = nx.Graph()
+    G.add_nodes_from(range(graph.num_vertices))
+    s, d = graph.edge_array()
+    G.add_edges_from(zip(s.tolist(), d.tolist()))
+    want = np.zeros(graph.num_vertices, dtype=np.int64)
+    for i, comp in enumerate(nx.connected_components(G)):
+        for v in comp:
+            want[v] = i
+    got = algo(graph).labels
+    assert np.array_equal(canonicalize_labels(got), canonicalize_labels(want))
+
+
+@pytest.mark.parametrize(
+    "variant,seed",
+    [(v, s) for v in ("min", "arb", "arb-hybrid") for s in (1, 2, 3, 4)],
+)
+def test_decomp_cc_seed_robustness(variant, seed, medium_random):
+    """Randomized algorithm, fixed answer: many seeds, same partition."""
+    result = decomp_cc(medium_random, 0.2, variant=variant, seed=seed)
+    truth = ground_truth_labels(medium_random)
+    assert np.array_equal(
+        canonicalize_labels(result.labels), canonicalize_labels(truth)
+    )
+
+
+@pytest.mark.parametrize("beta", [0.05, 0.2, 0.5, 0.8])
+def test_decomp_cc_beta_robustness(beta, medium_random):
+    """Correct for every beta, including ones voiding the work bound."""
+    result = decomp_cc(medium_random, beta, variant="arb", seed=3)
+    verify_labeling(medium_random, result.labels)
+
+
+def test_decomp_cc_exponential_schedule(medium_random):
+    result = decomp_cc(
+        medium_random, 0.2, variant="arb", seed=1, schedule_mode="exponential"
+    )
+    verify_labeling(medium_random, result.labels)
+
+
+def test_decomp_cc_without_dedup(medium_random):
+    result = decomp_cc(medium_random, 0.2, variant="arb", seed=1, remove_duplicates=False)
+    verify_labeling(medium_random, result.labels)

@@ -1,0 +1,151 @@
+"""Unit tests for the contraction step (CONTRACT of Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.decomp import contract, decomp_arb
+from repro.decomp.base import Decomposition
+from repro.errors import GraphFormatError
+from repro.graphs.generators import (
+    clique,
+    disjoint_union_edges,
+    empty_graph,
+    line_graph,
+    random_kregular,
+)
+
+from tests.conftest import zoo_params
+
+
+def manual_decomposition(labels, edges):
+    """Build a Decomposition by hand: labels + directed label-pair edges.
+
+    Original endpoints are set to the label pairs themselves (valid:
+    each center is a vertex of its own partition).
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    if edges:
+        src = np.array([a for a, _ in edges], dtype=np.int64)
+        dst = np.array([b for _, b in edges], dtype=np.int64)
+    else:
+        src = dst = np.zeros(0, dtype=np.int64)
+    return Decomposition(
+        labels=labels,
+        inter_src=src,
+        inter_dst=dst,
+        orig_src=src.copy(),
+        orig_dst=dst.copy(),
+        num_rounds=1,
+    )
+
+
+class TestContractManual:
+    def test_two_components_one_edge(self):
+        # vertices 0,1 -> center 0; vertices 2,3 -> center 2; edges cross
+        dec = manual_decomposition(
+            [0, 0, 2, 2], [(0, 2), (2, 0)]
+        )
+        con = contract(dec, num_vertices=4)
+        assert con.num_components == 2
+        assert con.graph.num_vertices == 2
+        assert con.graph.num_directed == 2
+        assert con.vertex_to_component.tolist() == [0, 0, 1, 1]
+        assert not con.is_base_case
+
+    def test_all_one_component(self):
+        dec = manual_decomposition([3, 3, 3, 3], [])
+        con = contract(dec, num_vertices=4)
+        assert con.num_components == 1
+        assert con.is_base_case
+        assert con.graph.num_vertices == 0  # the lone component is a singleton
+        assert con.vertex_to_component.tolist() == [0, 0, 0, 0]
+
+    def test_duplicate_edges_removed(self):
+        dec = manual_decomposition(
+            [0, 0, 2, 2],
+            [(0, 2), (0, 2), (0, 2), (2, 0), (2, 0)],
+        )
+        con = contract(dec, num_vertices=4)
+        assert con.graph.num_directed == 2  # one per direction
+
+    def test_duplicate_edges_kept_when_disabled(self):
+        dec = manual_decomposition(
+            [0, 0, 2, 2],
+            [(0, 2), (0, 2), (2, 0), (2, 0)],
+        )
+        con = contract(dec, num_vertices=4, remove_duplicates=False)
+        assert con.graph.num_directed == 4
+
+    def test_singletons_dropped_but_counted(self):
+        # center 1 is an isolated partition; 0 and 2 exchange edges
+        dec = manual_decomposition([0, 1, 2], [(0, 2), (2, 0)])
+        con = contract(dec, num_vertices=3)
+        assert con.num_components == 3
+        assert con.graph.num_vertices == 2  # singleton dropped
+        assert con.component_to_sub.tolist()[1] == -1  # wait: component ids
+        # component ids are dense-ranked by center id: 0->0, 1->1, 2->2
+        assert con.component_to_sub[0] >= 0
+        assert con.component_to_sub[2] >= 0
+        assert con.sub_to_component.tolist() == [0, 2]
+
+    def test_mapping_roundtrip(self):
+        labels = [5, 5, 9, 9, 7, 5, 5, 7, 9, 9]  # centers 5, 7, 9
+        dec = manual_decomposition(labels, [(5, 9), (9, 5)])
+        con = contract(dec, num_vertices=10)
+        # dense renaming keeps center order: 5 -> 0, 7 -> 1, 9 -> 2
+        assert con.num_components == 3
+        assert con.vertex_to_component.tolist() == [0, 0, 2, 2, 1, 0, 0, 1, 2, 2]
+        subs = con.component_to_sub
+        assert subs[1] == -1  # component of center 7 is a singleton
+        assert con.sub_to_component.tolist() == [0, 2]
+
+    def test_label_shape_mismatch(self):
+        dec = manual_decomposition([0, 0], [])
+        with pytest.raises(GraphFormatError):
+            contract(dec, num_vertices=5)
+
+    def test_empty_graph(self):
+        dec = manual_decomposition(np.arange(4), [])
+        con = contract(dec, num_vertices=4)
+        assert con.num_components == 4
+        assert con.is_base_case
+
+    def test_zero_vertices(self):
+        dec = manual_decomposition(np.zeros(0, dtype=np.int64), [])
+        con = contract(dec, num_vertices=0)
+        assert con.num_components == 0
+        assert con.graph.num_vertices == 0
+
+
+class TestContractAfterDecomp:
+    @pytest.mark.parametrize("graph", zoo_params())
+    def test_contracted_graph_is_symmetric(self, graph):
+        dec = decomp_arb(graph, beta=0.3, seed=1)
+        con = contract(dec, graph.num_vertices)
+        assert con.graph.check_symmetric()
+
+    @pytest.mark.parametrize("graph", zoo_params())
+    def test_contraction_preserves_component_count(self, graph):
+        # components of G == components of G' + singleton components
+        from repro.analysis.verify import ground_truth_labels
+
+        dec = decomp_arb(graph, beta=0.3, seed=2)
+        con = contract(dec, graph.num_vertices)
+        orig = np.unique(ground_truth_labels(graph)).size
+        sub_labels = ground_truth_labels(con.graph)
+        sub_components = np.unique(sub_labels).size if con.graph.num_vertices else 0
+        singletons = con.num_components - con.num_sub_vertices
+        assert orig == sub_components + singletons
+
+    def test_contract_shrinks_edges(self):
+        g = random_kregular(2000, 5, seed=3)
+        dec = decomp_arb(g, beta=0.2, seed=1)
+        con = contract(dec, g.num_vertices)
+        assert con.graph.num_edges < g.num_edges
+
+    def test_no_self_loops_in_contracted_graph(self):
+        g = clique(20)
+        dec = decomp_arb(g, beta=0.5, seed=4)
+        con = contract(dec, g.num_vertices)
+        src, dst = con.graph.edge_array()
+        assert np.all(src != dst)

@@ -1,0 +1,93 @@
+"""Smoke tests keeping the example scripts from rotting.
+
+Each example's helper functions are imported and exercised at reduced
+sizes; the two fastest examples run end-to-end via ``runpy``.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load(name: str):
+    """Import an example module by path without executing main()."""
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestImageSegmentationHelpers:
+    def test_synthesize_blobs_shape(self):
+        mod = _load("image_segmentation")
+        img = mod.synthesize_blobs(40, 60, num_blobs=3, seed=1)
+        assert img.shape == (40, 60)
+        assert img.dtype == bool
+        assert img.any()
+
+    def test_pixel_adjacency_graph(self):
+        mod = _load("image_segmentation")
+        img = np.array(
+            [
+                [1, 1, 0],
+                [0, 0, 0],
+                [0, 1, 1],
+            ],
+            dtype=bool,
+        )
+        graph, pixel_id = mod.pixel_adjacency_graph(img)
+        assert graph.num_vertices == 4
+        assert graph.num_edges == 2  # two horizontal dominoes
+        assert pixel_id[0, 0] >= 0 and pixel_id[1, 1] == -1
+
+    def test_end_to_end_segmentation(self):
+        mod = _load("image_segmentation")
+        from repro.connectivity import decomp_cc
+
+        img = mod.synthesize_blobs(30, 50, num_blobs=4, seed=3)
+        graph, pixel_id = mod.pixel_adjacency_graph(img)
+        result = decomp_cc(graph, beta=0.2, seed=1)
+        assert result.num_components >= 1
+        text = mod.render_ascii(img, np.zeros(img.shape, dtype=np.int64))
+        assert isinstance(text, str) and text
+
+
+class TestQuickstartEndToEnd:
+    def test_runs(self, capsys, monkeypatch):
+        mod = _load("quickstart")
+        # shrink the workload through the generator it uses
+        import repro.graphs as graphs_pkg
+
+        original = graphs_pkg.random_kregular
+        monkeypatch.setattr(
+            "repro.graphs.random_kregular",
+            lambda n, k=5, seed=1: original(2_000, k=k, seed=seed),
+        )
+        mod.main()
+        out = capsys.readouterr().out
+        assert "labeling verified: OK" in out
+        assert "self-relative speedup" in out
+
+
+class TestShootoutTable:
+    def test_structure(self):
+        mod = _load("algorithm_shootout")
+        assert len(mod.ORDER) == 10
+        assert set(mod.GRAPHS)  # graphs built at import time
+
+
+def test_all_examples_have_main():
+    for path in EXAMPLES.glob("*.py"):
+        text = path.read_text()
+        assert "def main()" in text, path.name
+        assert '__name__ == "__main__"' in text, path.name
+        assert '"""' in text.split("\n", 2)[2][:10] or text.startswith(
+            ("#!", '"""')
+        ), f"{path.name} missing docstring"

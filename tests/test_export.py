@@ -1,0 +1,63 @@
+"""Tests for the JSON/CSV artifact exporters."""
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments import export_json, export_series_csv, export_table2_csv
+
+
+class TestExportJson:
+    def test_roundtrip_simple(self, tmp_path):
+        path = tmp_path / "x.json"
+        export_json({"a": [1, 2], "b": {"c": 3.5}}, path)
+        assert json.loads(path.read_text()) == {"a": [1, 2], "b": {"c": 3.5}}
+
+    def test_numeric_keys_coerced(self, tmp_path):
+        path = tmp_path / "betas.json"
+        export_json({0.1: [100, 10], 0.5: [100, 50]}, path)
+        data = json.loads(path.read_text())
+        assert data == {"0.1": [100, 10], "0.5": [100, 50]}
+
+    def test_nested_tuples_become_lists(self, tmp_path):
+        path = tmp_path / "t.json"
+        export_json({"pair": (1, 2)}, path)
+        assert json.loads(path.read_text())["pair"] == [1, 2]
+
+    def test_real_fig4_series(self, tmp_path):
+        from repro.experiments import build_graph, fig4_edges_remaining
+
+        g = build_graph("line", "tiny")
+        series = fig4_edges_remaining(g, "line", betas=[0.1])
+        path = tmp_path / "fig4.json"
+        export_json(series, path)
+        data = json.loads(path.read_text())
+        assert data["0.1"][0] == g.num_edges
+
+
+class TestExportCsv:
+    def test_table2_long_form(self, tmp_path):
+        table = {
+            "serial-SF": {"line": {"1": 0.5, "40h": 0.5}},
+            "decomp-arb-CC": {"line": {"1": 1.0, "40h": 0.05}},
+        }
+        path = tmp_path / "t2.csv"
+        export_table2_csv(table, path)
+        rows = list(csv.reader(path.read_text().splitlines()))
+        assert rows[0] == ["algorithm", "graph", "threads", "seconds"]
+        assert ["decomp-arb-CC", "line", "40h", "0.05"] in rows
+
+    def test_series_csv(self, tmp_path):
+        series = {"algo": {"1": 2.0, "40h": 0.1}}
+        path = tmp_path / "s.csv"
+        export_series_csv(series, path, x_name="threads", y_name="seconds")
+        rows = list(csv.reader(path.read_text().splitlines()))
+        assert rows[0] == ["series", "threads", "seconds"]
+        assert ["algo", "40h", "0.1"] in rows
+
+    def test_empty_series(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        export_series_csv({}, path)
+        rows = list(csv.reader(path.read_text().splitlines()))
+        assert rows == [["series", "x", "y"]]

@@ -1,0 +1,97 @@
+"""Failure injection: malformed inputs must fail loudly and precisely."""
+
+import numpy as np
+import pytest
+
+from repro.connectivity import decomp_cc
+from repro.decomp import decomp_arb, decomp_arb_hybrid, decomp_min
+from repro.errors import (
+    GraphFormatError,
+    ParameterError,
+    ReproError,
+    VerificationError,
+)
+from repro.graphs.builder import from_directed_edges
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import clique, line_graph
+
+
+def asymmetric_graph():
+    """A directed (non-mirrored) graph: illegal decomposition input."""
+    return from_directed_edges(np.array([0, 1]), np.array([1, 2]), 3)
+
+
+class TestAsymmetricInputRejected:
+    @pytest.mark.parametrize("fn", [decomp_min, decomp_arb, decomp_arb_hybrid])
+    def test_decomp_refuses(self, fn):
+        with pytest.raises(ParameterError, match="symmetric"):
+            fn(asymmetric_graph(), beta=0.2)
+
+    def test_decomp_cc_refuses(self):
+        with pytest.raises(ParameterError, match="symmetric"):
+            decomp_cc(asymmetric_graph(), 0.2)
+
+
+class TestExceptionHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for exc in (GraphFormatError, ParameterError, VerificationError):
+            assert issubclass(exc, ReproError)
+
+    def test_parameter_error_is_value_error(self):
+        # callers using plain ValueError handling still catch us
+        assert issubclass(ParameterError, ValueError)
+
+
+class TestCorruptedCSR:
+    def test_offsets_truncated(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(offsets=np.array([0, 1]), targets=np.array([0, 0]))
+
+    def test_negative_target_smuggled(self):
+        g = clique(3)
+        bad_targets = g.targets.copy()
+        bad_targets[0] = -5
+        with pytest.raises(GraphFormatError):
+            CSRGraph(offsets=g.offsets, targets=bad_targets)
+
+    def test_float_offsets_coerced_or_valid(self):
+        # float inputs that are integral are accepted via coercion
+        g = CSRGraph(
+            offsets=np.array([0.0, 1.0, 2.0]),
+            targets=np.array([1.0, 0.0]),
+        )
+        assert g.offsets.dtype == np.int64
+
+
+class TestLabelTampering:
+    def test_verifier_catches_swapped_labels(self):
+        from repro.analysis.verify import verify_labeling
+
+        g = line_graph(10)
+        labels = decomp_cc(g, 0.2, seed=1).labels.copy()
+        labels[4] = labels[4] + 1  # split the path
+        with pytest.raises(VerificationError):
+            verify_labeling(g, labels)
+
+    def test_verifier_catches_truncated_labels(self):
+        from repro.analysis.verify import verify_labeling
+
+        g = line_graph(10)
+        with pytest.raises(VerificationError, match="shape"):
+            verify_labeling(g, np.zeros(9, dtype=np.int64))
+
+
+class TestHostileParameterSpace:
+    @pytest.mark.parametrize("beta", [float("nan"), float("inf"), -0.0])
+    def test_pathological_beta_rejected(self, beta):
+        with pytest.raises((ParameterError, ValueError)):
+            decomp_cc(clique(4), beta)
+
+    def test_negative_seed_is_fine(self):
+        # seeds are hashed; negatives must not crash
+        res = decomp_cc(clique(5), 0.2, seed=-17)
+        assert res.num_components == 1
+
+    def test_huge_seed_is_fine(self):
+        res = decomp_cc(clique(5), 0.2, seed=2**61 + 3)
+        assert res.num_components == 1

@@ -1,0 +1,147 @@
+"""Unit tests for graph operations and I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graphs.generators import clique, line_graph, random_kregular, star_graph
+from repro.graphs.io import load_npz, read_edge_list, save_npz, write_edge_list
+from repro.graphs.ops import (
+    degree_statistics,
+    edges_as_undirected_pairs,
+    induced_subgraph,
+    isolated_vertices,
+    relabel_graph,
+)
+from repro.graphs.builder import from_edges
+
+
+class TestRelabelGraph:
+    def test_identity(self):
+        g = clique(5)
+        h = relabel_graph(g, np.arange(5))
+        assert np.array_equal(g.offsets, h.offsets)
+
+    def test_structure_preserved(self):
+        g = star_graph(6)
+        perm = np.array([5, 4, 3, 2, 1, 0])
+        h = relabel_graph(g, perm)
+        assert sorted(h.degrees.tolist()) == sorted(g.degrees.tolist())
+        assert h.degrees[5] == 5  # hub moved to label 5
+
+    def test_rejects_non_permutation(self):
+        g = clique(3)
+        with pytest.raises(GraphFormatError):
+            relabel_graph(g, np.array([0, 0, 1]))
+        with pytest.raises(GraphFormatError):
+            relabel_graph(g, np.array([0, 1]))
+        with pytest.raises(GraphFormatError):
+            relabel_graph(g, np.array([0, 1, 5]))
+
+
+class TestDegreeStats:
+    def test_star(self):
+        s = degree_statistics(star_graph(11))
+        assert s["max"] == 10.0
+        assert s["min"] == 1.0
+        assert s["isolated"] == 0.0
+
+    def test_with_isolated(self):
+        g = from_edges(np.array([0]), np.array([1]), num_vertices=4)
+        s = degree_statistics(g)
+        assert s["isolated"] == 2.0
+        assert isolated_vertices(g).tolist() == [2, 3]
+
+    def test_empty(self):
+        from repro.graphs.generators import empty_graph
+
+        s = degree_statistics(empty_graph(0))
+        assert s["mean"] == 0.0
+
+
+class TestInducedSubgraph:
+    def test_subset_of_clique(self):
+        g = clique(6)
+        sub, old = induced_subgraph(g, np.array([1, 3, 5]))
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 3  # triangle
+        assert old.tolist() == [1, 3, 5]
+
+    def test_disconnected_selection(self):
+        g = line_graph(6)
+        sub, _ = induced_subgraph(g, np.array([0, 1, 4, 5]))
+        assert sub.num_edges == 2  # 0-1 and 4-5 survive
+
+    def test_duplicates_in_selection_collapse(self):
+        g = clique(4)
+        sub, old = induced_subgraph(g, np.array([2, 2, 0]))
+        assert sub.num_vertices == 2
+        assert old.tolist() == [0, 2]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphFormatError):
+            induced_subgraph(clique(3), np.array([9]))
+
+
+class TestUndirectedPairs:
+    def test_each_edge_once(self):
+        g = clique(4)
+        s, d = edges_as_undirected_pairs(g)
+        assert len(s) == 6
+        assert (s < d).all()
+
+    def test_roundtrip_through_builder(self):
+        g = random_kregular(100, 3, seed=4)
+        s, d = edges_as_undirected_pairs(g)
+        h = from_edges(s, d, num_vertices=100)
+        assert np.array_equal(g.offsets, h.offsets)
+        assert np.array_equal(g.targets, h.targets)
+
+
+class TestIO:
+    def test_edge_list_roundtrip(self, tmp_path):
+        g = random_kregular(50, 3, seed=6)
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path, header="test graph")
+        h = read_edge_list(path, num_vertices=50)
+        assert np.array_equal(g.offsets, h.offsets)
+        assert np.array_equal(g.targets, h.targets)
+
+    def test_read_skips_comments(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# SNAP header\n# more\n0\t1\n1\t2\n")
+        g = read_edge_list(path)
+        assert g.num_vertices == 3 and g.num_edges == 2
+
+    def test_read_malformed_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1\nnot numbers\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_read_wrong_columns_raises(self, tmp_path):
+        path = tmp_path / "bad3.txt"
+        path.write_text("0 1 2\n3 4 5\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_read_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing\n")
+        g = read_edge_list(path, num_vertices=3)
+        assert g.num_vertices == 3 and g.num_edges == 0
+
+    def test_npz_roundtrip(self, tmp_path):
+        g = random_kregular(80, 4, seed=7)
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        h = load_npz(path)
+        assert np.array_equal(g.offsets, h.offsets)
+        assert np.array_equal(g.targets, h.targets)
+        assert h.symmetric == g.symmetric
+
+    def test_npz_wrong_file_raises(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, foo=np.arange(3))
+        with pytest.raises(GraphFormatError):
+            load_npz(path)

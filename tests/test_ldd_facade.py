@@ -1,0 +1,50 @@
+"""Tests for the high-level low-diameter decomposition API."""
+
+import numpy as np
+import pytest
+
+from repro.decomp import low_diameter_decomposition
+from repro.errors import ParameterError
+from repro.graphs.generators import grid3d, line_graph, random_kregular
+
+
+class TestLowDiameterDecomposition:
+    def test_fields_populated(self):
+        g = random_kregular(500, 4, seed=1)
+        ldd = low_diameter_decomposition(g, beta=0.3, seed=2)
+        assert ldd.labels.shape == (500,)
+        assert ldd.num_partitions >= 1
+        assert 0.0 <= ldd.inter_edge_fraction <= 1.0
+        assert ldd.fraction_bound == pytest.approx(0.6)
+        assert ldd.max_radius <= 4 * ldd.radius_bound
+
+    def test_min_variant_bound_is_beta(self):
+        g = grid3d(5)
+        ldd = low_diameter_decomposition(g, beta=0.3, variant="min")
+        assert ldd.fraction_bound == pytest.approx(0.3)
+
+    def test_partition_sizes_sum_to_n(self):
+        g = line_graph(200, seed=1)
+        ldd = low_diameter_decomposition(g, beta=0.1, seed=3)
+        sizes = ldd.partition_sizes()
+        assert int(sizes.sum()) == 200
+        assert sizes[0] >= sizes[-1]
+
+    def test_fraction_respects_bound_statistically(self):
+        g = line_graph(4000, seed=2)
+        fracs = [
+            low_diameter_decomposition(g, beta=0.2, seed=s).inter_edge_fraction
+            for s in range(6)
+        ]
+        assert np.mean(fracs) <= 0.4 * 1.3
+
+    def test_unknown_variant(self):
+        with pytest.raises(ParameterError):
+            low_diameter_decomposition(grid3d(3), beta=0.2, variant="nope")
+
+    def test_exponential_mode(self):
+        g = grid3d(5, seed=1)
+        ldd = low_diameter_decomposition(
+            g, beta=0.2, schedule_mode="exponential"
+        )
+        assert ldd.num_partitions >= 1

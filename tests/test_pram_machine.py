@@ -1,0 +1,147 @@
+"""Unit tests for the machine timing model."""
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.pram.cost import CostTracker
+from repro.pram.machine import (
+    PAPER_MACHINE,
+    MachineModel,
+    paper_thread_sweep,
+    parse_thread_spec,
+)
+
+
+def profile(kind="scan", work=1e6, depth=0.0) -> CostTracker:
+    t = CostTracker()
+    t.add(kind, work=work, depth=depth)
+    return t
+
+
+class TestParseThreadSpec:
+    def test_plain_int(self):
+        assert parse_thread_spec(40) == (40, False)
+
+    def test_hyper_string(self):
+        assert parse_thread_spec("40h") == (40, True)
+
+    def test_plain_string(self):
+        assert parse_thread_spec("8") == (8, False)
+
+    def test_case_and_whitespace(self):
+        assert parse_thread_spec(" 16H ") == (16, True)
+
+    @pytest.mark.parametrize("bad", [0, -1, "0h", "h", "", "4.5", "ha", True])
+    def test_rejects_bad_specs(self, bad):
+        with pytest.raises(ParameterError):
+            parse_thread_spec(bad)
+
+    def test_paper_sweep_shape(self):
+        sweep = paper_thread_sweep()
+        assert sweep[0] == 1
+        assert sweep[-1] == "40h"
+        assert 40 in sweep
+
+
+class TestMachineModel:
+    def test_single_thread_time_is_work_times_cost(self):
+        m = MachineModel(threads=1)
+        t = profile("scan", work=1e9)
+        expected = 1e9 * m.kind_cost_ns["scan"] * 1e-9
+        assert m.time_seconds(t) == pytest.approx(expected)
+
+    def test_work_divides_by_threads(self):
+        t = profile("scan", work=1e9)
+        t1 = MachineModel(threads=1).time_seconds(t)
+        t8 = MachineModel(threads=8).time_seconds(t)
+        assert t1 / t8 == pytest.approx(8.0)
+
+    def test_bandwidth_cap_limits_speedup(self):
+        t = profile("atomic", work=1e9)
+        m1 = MachineModel(threads=1)
+        m80 = MachineModel(threads=40, hyperthreaded=True)
+        speedup = m1.time_seconds(t) / m80.time_seconds(t)
+        assert speedup == pytest.approx(m80.kind_cap["atomic"])
+
+    def test_seq_work_never_divides(self):
+        t = profile("seq", work=1e9)
+        t1 = MachineModel(threads=1).time_seconds(t)
+        t40 = PAPER_MACHINE.time_seconds(t)
+        assert t1 == pytest.approx(t40)
+
+    def test_depth_charged_at_every_thread_count(self):
+        t = profile("scan", work=0.0, depth=1e6)
+        m1 = MachineModel(threads=1)
+        m40 = MachineModel(threads=40)
+        assert m1.time_seconds(t) == pytest.approx(1e6 * m1.depth_cost_ns * 1e-9)
+        assert m1.time_seconds(t) == pytest.approx(m40.time_seconds(t))
+
+    def test_hyperthreading_adds_fractional_throughput(self):
+        m = MachineModel(threads=40, hyperthreaded=True, ht_yield=0.25)
+        assert m.effective_parallelism == pytest.approx(50.0)
+        m_plain = MachineModel(threads=40)
+        assert m_plain.effective_parallelism == pytest.approx(40.0)
+
+    def test_label(self):
+        assert MachineModel(threads=40, hyperthreaded=True).label == "40h"
+        assert MachineModel(threads=8).label == "8"
+
+    def test_with_threads_roundtrip(self):
+        m = PAPER_MACHINE.with_threads(4)
+        assert m.threads == 4 and not m.hyperthreaded
+        m2 = m.with_threads("16h")
+        assert m2.threads == 16 and m2.hyperthreaded
+        # constants survive the copy
+        assert m2.kind_cost_ns == PAPER_MACHINE.kind_cost_ns
+
+    def test_rejects_bad_threads(self):
+        with pytest.raises(ParameterError):
+            MachineModel(threads=0)
+
+    def test_rejects_bad_ht_yield(self):
+        with pytest.raises(ParameterError):
+            MachineModel(threads=2, ht_yield=1.5)
+
+    def test_rejects_missing_kind_constants(self):
+        with pytest.raises(ParameterError, match="missing kinds"):
+            MachineModel(threads=2, kind_cost_ns={"scan": 1.0})
+
+    def test_phase_seconds_partitions_total(self):
+        t = CostTracker()
+        with t.phase("a"):
+            t.add("scan", work=1e6, depth=10.0)
+        with t.phase("b"):
+            t.add("gather", work=2e6, depth=20.0)
+        m = PAPER_MACHINE
+        per_phase = m.phase_seconds(t)
+        assert set(per_phase) == {"a", "b"}
+        assert sum(per_phase.values()) == pytest.approx(m.time_seconds(t))
+
+    def test_self_relative_speedup_in_band_for_work_heavy_profile(self):
+        # A profile shaped like a decomposition run: mixed kinds, small
+        # depth — the speedup must fall in a plausible parallel band.
+        t = CostTracker()
+        t.add("gather", work=4e6, depth=100.0)
+        t.add("atomic", work=5e5, depth=100.0)
+        t.add("scan", work=3e6, depth=2000.0)
+        s = PAPER_MACHINE.self_relative_speedup(t)
+        assert 10.0 < s < 45.0
+
+    def test_speedup_over(self):
+        t = profile("scan", work=1e9)
+        assert PAPER_MACHINE.speedup_over(t, MachineModel(threads=1)) > 1.0
+
+    def test_sweep_monotone_for_divisible_work(self):
+        t = profile("scan", work=1e9)
+        sweep = MachineModel().sweep_seconds(t)
+        times = list(sweep.values())
+        assert all(a >= b for a, b in zip(times, times[1:]))
+        assert list(sweep)[-1] == "40h"
+
+    def test_sweep_flat_for_seq_work(self):
+        t = profile("seq", work=1e8)
+        sweep = MachineModel().sweep_seconds(t)
+        vals = list(sweep.values())
+        assert max(vals) == pytest.approx(min(vals))

@@ -1,0 +1,180 @@
+"""Unit tests for CRCW atomics emulation and the phase-concurrent hash table."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.pram.cost import tracking
+from repro.primitives.atomics import (
+    PAIR_SHIFT,
+    decode_pair,
+    encode_pair,
+    first_winner,
+    write_min,
+)
+from repro.primitives.hashing import HashTable, dedup
+
+
+class TestEncodePair:
+    def test_roundtrip(self):
+        p = np.array([0, 5, 100])
+        x = np.array([7, 0, 3])
+        pr, px = decode_pair(encode_pair(p, x))
+        assert pr.tolist() == p.tolist()
+        assert px.tolist() == x.tolist()
+
+    def test_lexicographic_order(self):
+        # smaller priority always wins; ties break by smaller payload
+        assert encode_pair(np.array([1]), np.array([999]))[0] < encode_pair(
+            np.array([2]), np.array([0])
+        )[0]
+        assert encode_pair(np.array([1]), np.array([3]))[0] < encode_pair(
+            np.array([1]), np.array([4])
+        )[0]
+
+    def test_bounds_checked(self):
+        big = np.array([1 << PAIR_SHIFT])
+        with pytest.raises(ValueError):
+            encode_pair(big, np.array([0]))
+        with pytest.raises(ValueError):
+            encode_pair(np.array([0]), big)
+        with pytest.raises(ValueError):
+            encode_pair(np.array([-1]), np.array([0]))
+
+    def test_empty(self):
+        assert encode_pair(np.array([], dtype=np.int64), np.array([], dtype=np.int64)).size == 0
+
+
+class TestWriteMin:
+    def test_minimum_survives_conflicts(self):
+        dest = np.full(4, 50, dtype=np.int64)
+        write_min(dest, np.array([1, 1, 1, 3]), np.array([9, 2, 7, 60]))
+        assert dest.tolist() == [50, 2, 50, 50]
+
+    def test_no_write_when_larger(self):
+        dest = np.array([5], dtype=np.int64)
+        write_min(dest, np.array([0]), np.array([9]))
+        assert dest[0] == 5
+
+    def test_empty_batch(self):
+        dest = np.array([1], dtype=np.int64)
+        write_min(dest, np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        assert dest[0] == 1
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            write_min(np.zeros(2, dtype=np.int64), np.array([0]), np.array([1, 2]))
+
+    def test_matches_sequential_semantics(self):
+        rng = np.random.default_rng(0)
+        dest = np.full(20, 10**6, dtype=np.int64)
+        idx = rng.integers(0, 20, size=500)
+        vals = rng.integers(0, 10**6, size=500)
+        expected = dest.copy()
+        for i, v in zip(idx, vals):
+            expected[i] = min(expected[i], v)
+        write_min(dest, idx, vals)
+        assert np.array_equal(dest, expected)
+
+    def test_charges_atomic_work(self):
+        with tracking() as t:
+            write_min(np.zeros(4, dtype=np.int64), np.array([0, 1]), np.array([1, 2]))
+        assert t.work_by_kind().get("atomic") == 2.0
+
+
+class TestFirstWinner:
+    def test_one_winner_per_destination(self):
+        pos, dests = first_winner(np.array([5, 3, 5, 3, 3, 7]))
+        assert dests.tolist() == [3, 5, 7]
+        # winner of 3 is index 1, of 5 is index 0, of 7 is index 5
+        assert pos.tolist() == [1, 0, 5]
+
+    def test_empty(self):
+        pos, dests = first_winner(np.array([], dtype=np.int64))
+        assert pos.size == 0 and dests.size == 0
+
+    def test_all_same_destination(self):
+        pos, dests = first_winner(np.full(10, 4))
+        assert dests.tolist() == [4]
+        assert pos.tolist() == [0]
+
+    def test_all_distinct(self):
+        pos, dests = first_winner(np.array([2, 0, 1]))
+        assert sorted(pos.tolist()) == [0, 1, 2]
+        assert dests.tolist() == [0, 1, 2]
+
+
+class TestHashTable:
+    def test_insert_reports_new_vs_duplicate(self):
+        t = HashTable(capacity=8)
+        first = t.insert(np.array([1, 2, 3]))
+        assert first.tolist() == [True, True, True]
+        second = t.insert(np.array([2, 4]))
+        assert second.tolist() == [False, True]
+
+    def test_duplicates_within_one_batch(self):
+        t = HashTable(capacity=8)
+        mask = t.insert(np.array([7, 7, 7, 8]))
+        assert mask.sum() == 2  # one 7, one 8
+        assert sorted(t.contents().tolist()) == [7, 8]
+
+    def test_contents_match_distinct_inserts(self):
+        rng = np.random.default_rng(2)
+        keys = rng.integers(0, 1000, size=5000)
+        t = HashTable(capacity=keys.size)
+        t.insert(keys)
+        assert sorted(t.contents().tolist()) == sorted(set(keys.tolist()))
+
+    def test_rejects_negative_keys(self):
+        with pytest.raises(ValueError):
+            HashTable(capacity=4).insert(np.array([-1]))
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValueError):
+            HashTable(capacity=-1)
+
+    def test_empty_insert(self):
+        t = HashTable(capacity=4)
+        assert t.insert(np.array([], dtype=np.int64)).size == 0
+        assert t.contents().size == 0
+
+    def test_load_factor_at_most_half(self):
+        t = HashTable(capacity=100)
+        assert t.size >= 200
+
+    def test_adversarial_collisions_converge(self):
+        # keys engineered to collide: sequential values in a big table
+        # hash apart, so force collisions via capacity-1 table of many
+        # equal-slot candidates by inserting many keys into minimum size.
+        t = HashTable(capacity=64, seed=1)
+        keys = np.arange(64, dtype=np.int64)
+        mask = t.insert(keys)
+        assert mask.all()
+        assert sorted(t.contents().tolist()) == list(range(64))
+
+
+class TestDedup:
+    def test_basic(self):
+        assert sorted(dedup(np.array([5, 5, 3, 9, 3])).tolist()) == [3, 5, 9]
+
+    def test_empty(self):
+        assert dedup(np.array([], dtype=np.int64)).size == 0
+
+    def test_no_duplicates_input(self):
+        keys = np.arange(100, dtype=np.int64)
+        assert sorted(dedup(keys).tolist()) == list(range(100))
+
+    def test_all_same(self):
+        assert dedup(np.full(1000, 13)).tolist() == [13]
+
+    def test_matches_numpy_unique_randomized(self):
+        rng = np.random.default_rng(3)
+        for trial in range(5):
+            keys = rng.integers(0, 200, size=2000)
+            got = np.sort(dedup(keys, seed=trial))
+            assert np.array_equal(got, np.unique(keys))
+
+    def test_charges_hash_work(self):
+        with tracking() as t:
+            dedup(np.arange(100, dtype=np.int64))
+        assert t.work_by_kind().get("hash", 0.0) >= 100.0

@@ -1,0 +1,169 @@
+"""Unit tests for prefix sums, packs and reductions."""
+
+import numpy as np
+import pytest
+
+from repro.pram.cost import tracking
+from repro.primitives.pack import pack, pack_index, split_by_flag
+from repro.primitives.reduce_ops import (
+    count_true,
+    histogram,
+    reduce_max,
+    reduce_min,
+    reduce_sum,
+)
+from repro.primitives.scan import (
+    exclusive_scan,
+    inclusive_scan,
+    scan_with_total,
+    segmented_scan,
+)
+
+
+class TestScans:
+    def test_inclusive_matches_cumsum(self):
+        a = np.array([3, 1, 4, 1, 5])
+        assert inclusive_scan(a).tolist() == [3, 4, 8, 9, 14]
+
+    def test_exclusive_shifts_by_one(self):
+        a = np.array([3, 1, 4, 1, 5])
+        assert exclusive_scan(a).tolist() == [0, 3, 4, 8, 9]
+
+    def test_empty_inputs(self):
+        assert inclusive_scan(np.array([])).size == 0
+        assert exclusive_scan(np.array([])).size == 0
+
+    def test_single_element(self):
+        assert exclusive_scan(np.array([7])).tolist() == [0]
+
+    def test_scan_with_total(self):
+        offsets, total = scan_with_total(np.array([2, 0, 3]))
+        assert offsets.tolist() == [0, 2, 2]
+        assert total == 5
+
+    def test_scan_with_total_empty(self):
+        offsets, total = scan_with_total(np.array([], dtype=np.int64))
+        assert offsets.size == 0 and total == 0
+
+    def test_exclusive_scan_large_random_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 100, size=10_000)
+        expected = np.concatenate(([0], np.cumsum(a)[:-1]))
+        assert np.array_equal(exclusive_scan(a), expected)
+
+    def test_scan_charges_linear_work_log_depth(self):
+        with tracking() as t:
+            exclusive_scan(np.ones(1024, dtype=np.int64))
+        assert t.total_work() == 1024.0
+        assert t.total_depth() == pytest.approx(np.ceil(np.log2(1025)))
+
+
+class TestSegmentedScan:
+    def test_basic_segments(self):
+        values = np.array([1, 1, 1, 1, 1, 1])
+        segs = np.array([0, 0, 0, 1, 1, 2])
+        assert segmented_scan(values, segs).tolist() == [0, 1, 2, 0, 1, 0]
+
+    def test_single_segment_equals_exclusive_scan(self):
+        values = np.array([2, 3, 4])
+        segs = np.zeros(3, dtype=np.int64)
+        assert segmented_scan(values, segs).tolist() == [0, 2, 5]
+
+    def test_each_element_own_segment(self):
+        values = np.array([5, 6, 7])
+        segs = np.array([0, 1, 2])
+        assert segmented_scan(values, segs).tolist() == [0, 0, 0]
+
+    def test_matches_per_segment_reference(self):
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, 10, size=500)
+        segs = np.sort(rng.integers(0, 40, size=500))
+        out = segmented_scan(values, segs)
+        for s in np.unique(segs):
+            mask = segs == s
+            ref = np.concatenate(([0], np.cumsum(values[mask])[:-1]))
+            assert np.array_equal(out[mask], ref)
+
+    def test_rejects_unsorted_segments(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            segmented_scan(np.ones(3), np.array([1, 0, 2]))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            segmented_scan(np.ones(3), np.array([0, 0]))
+
+    def test_empty(self):
+        assert segmented_scan(np.array([]), np.array([])).size == 0
+
+
+class TestPack:
+    def test_pack_keeps_flagged_in_order(self):
+        v = np.array([10, 20, 30, 40])
+        f = np.array([True, False, True, False])
+        assert pack(v, f).tolist() == [10, 30]
+
+    def test_pack_index(self):
+        f = np.array([False, True, True, False, True])
+        assert pack_index(f).tolist() == [1, 2, 4]
+
+    def test_pack_all_false(self):
+        assert pack(np.arange(5), np.zeros(5, dtype=bool)).size == 0
+
+    def test_pack_empty(self):
+        assert pack(np.array([]), np.array([], dtype=bool)).size == 0
+
+    def test_pack_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pack(np.arange(3), np.array([True]))
+
+    def test_split_by_flag_partitions(self):
+        v = np.arange(6)
+        f = v % 2 == 0
+        kept, dropped = split_by_flag(v, f)
+        assert kept.tolist() == [0, 2, 4]
+        assert dropped.tolist() == [1, 3, 5]
+
+    def test_approximate_pack_charges_less_depth(self):
+        flags = np.ones(1 << 16, dtype=bool)
+        with tracking() as exact:
+            pack_index(flags)
+        with tracking() as approx:
+            pack_index(flags, approximate=True)
+        assert approx.total_depth() < exact.total_depth()
+        assert approx.total_work() == exact.total_work()
+
+
+class TestReductions:
+    def test_reduce_sum(self):
+        assert reduce_sum(np.array([1.5, 2.5])) == 4.0
+
+    def test_reduce_sum_empty(self):
+        assert reduce_sum(np.array([])) == 0.0
+
+    def test_reduce_max_min(self):
+        a = np.array([3, 9, 2])
+        assert reduce_max(a) == 9.0
+        assert reduce_min(a) == 2.0
+
+    def test_reduce_max_empty_raises(self):
+        with pytest.raises(ValueError):
+            reduce_max(np.array([]))
+        with pytest.raises(ValueError):
+            reduce_min(np.array([]))
+
+    def test_count_true(self):
+        assert count_true(np.array([True, False, True])) == 2
+
+    def test_histogram_counts(self):
+        h = histogram(np.array([0, 2, 2, 5]), num_bins=7)
+        assert h.tolist() == [1, 0, 2, 0, 0, 1, 0]
+
+    def test_histogram_infers_bins(self):
+        assert histogram(np.array([1, 1, 3])).tolist() == [0, 2, 0, 1]
+
+    def test_histogram_rejects_negative(self):
+        with pytest.raises(ValueError):
+            histogram(np.array([-1, 2]))
+
+    def test_histogram_empty(self):
+        assert histogram(np.array([], dtype=np.int64), num_bins=3).tolist() == [0, 0, 0]

@@ -1,0 +1,137 @@
+"""Property-based tests: connectivity invariants on random edge lists.
+
+Hypothesis generates arbitrary undirected graphs as edge lists; every
+algorithm must produce the ground-truth partition, and the
+decomposition/contraction pipeline must preserve the component
+structure at every intermediate step.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.verify import (
+    ground_truth_labels,
+    labelings_equivalent,
+    verify_decomposition,
+)
+from repro.connectivity import (
+    canonicalize_labels,
+    decomp_cc,
+    hybrid_bfs_cc,
+    label_prop_cc,
+    multistep_cc,
+    parallel_sf_pbbs_cc,
+    parallel_sf_prm_cc,
+    serial_sf_cc,
+    shiloach_vishkin_cc,
+)
+from repro.decomp import contract, decomp_arb, decomp_arb_hybrid, decomp_min
+from repro.graphs.builder import from_edges
+
+
+@st.composite
+def edge_list_graphs(draw, max_vertices=40, max_edges=120):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    src = np.array([a for a, _ in edges], dtype=np.int64)
+    dst = np.array([b for _, b in edges], dtype=np.int64)
+    return from_edges(src, dst, num_vertices=n)
+
+
+COMMON = dict(
+    max_examples=40,
+    suppress_health_check=[HealthCheck.too_slow],
+    deadline=None,
+)
+
+
+@settings(**COMMON)
+@given(graph=edge_list_graphs(), seed=st.integers(min_value=0, max_value=1000))
+def test_decomp_cc_all_variants_correct(graph, seed):
+    truth = canonicalize_labels(ground_truth_labels(graph))
+    for variant in ("min", "arb", "arb-hybrid"):
+        got = decomp_cc(graph, 0.3, variant=variant, seed=seed).labels
+        assert np.array_equal(canonicalize_labels(got), truth)
+
+
+@settings(**COMMON)
+@given(graph=edge_list_graphs())
+def test_baselines_agree(graph):
+    truth = canonicalize_labels(ground_truth_labels(graph))
+    for fn in (
+        serial_sf_cc,
+        parallel_sf_pbbs_cc,
+        parallel_sf_prm_cc,
+        hybrid_bfs_cc,
+        multistep_cc,
+        label_prop_cc,
+        shiloach_vishkin_cc,
+    ):
+        got = fn(graph).labels
+        assert np.array_equal(canonicalize_labels(got), truth), fn.__name__
+
+
+@settings(**COMMON)
+@given(
+    graph=edge_list_graphs(),
+    seed=st.integers(min_value=0, max_value=1000),
+    beta=st.floats(min_value=0.05, max_value=0.9),
+)
+def test_decomposition_always_valid(graph, seed, beta):
+    for fn in (decomp_min, decomp_arb, decomp_arb_hybrid):
+        dec = fn(graph, beta=beta, seed=seed)
+        inter = verify_decomposition(graph, dec.labels, check_connected=True)
+        assert inter == dec.num_inter_directed
+
+
+@settings(**COMMON)
+@given(graph=edge_list_graphs(), seed=st.integers(min_value=0, max_value=1000))
+def test_contraction_preserves_components(graph, seed):
+    """#components(G) == #components(G') + #singleton-components."""
+    dec = decomp_arb(graph, beta=0.4, seed=seed)
+    con = contract(dec, graph.num_vertices)
+    orig = np.unique(ground_truth_labels(graph)).size
+    sub = (
+        np.unique(ground_truth_labels(con.graph)).size
+        if con.graph.num_vertices
+        else 0
+    )
+    singletons = con.num_components - con.num_sub_vertices
+    assert orig == sub + singletons
+
+
+@settings(**COMMON)
+@given(graph=edge_list_graphs(), seed=st.integers(min_value=0, max_value=1000))
+def test_relabel_up_composition(graph, seed):
+    """decomp_cc labels refine correctly: same component <=> same label.
+
+    This is the end-to-end statement of the RELABELUP composition law —
+    if it held at each level but composed wrongly, this would fail.
+    """
+    res = decomp_cc(graph, 0.4, variant="arb", seed=seed)
+    assert labelings_equivalent(res.labels, ground_truth_labels(graph))
+
+
+@settings(**COMMON)
+@given(
+    graph=edge_list_graphs(max_vertices=25, max_edges=60),
+    seed=st.integers(min_value=0, max_value=50),
+)
+def test_decomp_labels_are_fixed_points(graph, seed):
+    """Every decomposition label is a vertex labeling itself (a center)."""
+    for fn in (decomp_min, decomp_arb, decomp_arb_hybrid):
+        dec = fn(graph, beta=0.5, seed=seed)
+        centers = np.unique(dec.labels)
+        assert np.array_equal(dec.labels[centers], centers)

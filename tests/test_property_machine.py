@@ -1,0 +1,88 @@
+"""Property-based tests for the machine timing model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pram.cost import KINDS, CostTracker
+from repro.pram.machine import MachineModel
+
+works = st.dictionaries(
+    st.sampled_from([k for k in KINDS]),
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+    max_size=len(KINDS),
+)
+depths = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+thread_counts = st.integers(min_value=1, max_value=128)
+
+
+def tracker_of(work_by_kind, depth) -> CostTracker:
+    t = CostTracker()
+    for kind, work in work_by_kind.items():
+        t.add(kind, work=work)
+    if depth:
+        t.add("scan", work=0.0, depth=depth)
+    return t
+
+
+@settings(max_examples=60, deadline=None)
+@given(work=works, depth=depths, p1=thread_counts, p2=thread_counts)
+def test_time_monotone_nonincreasing_in_threads(work, depth, p1, p2):
+    lo, hi = min(p1, p2), max(p1, p2)
+    t = tracker_of(work, depth)
+    t_lo = MachineModel(threads=lo).time_seconds(t)
+    t_hi = MachineModel(threads=hi).time_seconds(t)
+    assert t_hi <= t_lo + 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(work=works, depth=depths, p=thread_counts)
+def test_time_additive_over_profiles(work, depth, p):
+    a = tracker_of(work, depth)
+    b = tracker_of(work, 0.0)
+    merged = tracker_of(work, depth)
+    merged.merge(b)
+    model = MachineModel(threads=p)
+    assert model.time_seconds(merged) == pytest.approx(
+        model.time_seconds(a) + model.time_seconds(b), rel=1e-9
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(work=works, depth=depths, p=thread_counts)
+def test_time_bounded_by_brent(work, depth, p):
+    """T_p is between W/p-ish and T_1 (Brent-style sanity)."""
+    t = tracker_of(work, depth)
+    model_p = MachineModel(threads=p)
+    model_1 = MachineModel(threads=1)
+    tp = model_p.time_seconds(t)
+    t1 = model_1.time_seconds(t)
+    assert tp <= t1 + 1e-12
+    # cannot be faster than perfect speedup at the largest cap
+    max_cap = max(model_p.kind_cap.values())
+    assert tp >= t1 / max(model_p.effective_parallelism, max_cap) - 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(seq_work=st.floats(min_value=1.0, max_value=1e9), p=thread_counts)
+def test_sequential_work_is_thread_invariant(seq_work, p):
+    t = CostTracker()
+    t.add("seq", work=seq_work)
+    assert MachineModel(threads=p).time_seconds(t) == pytest.approx(
+        MachineModel(threads=1).time_seconds(t)
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(work=works, depth=depths)
+def test_phase_times_partition_total(work, depth):
+    t = CostTracker()
+    with t.phase("a"):
+        for kind, w in work.items():
+            t.add(kind, work=w)
+    with t.phase("b"):
+        t.add("scan", work=0.0, depth=depth)
+    model = MachineModel(threads=8)
+    assert sum(model.phase_seconds(t).values()) == pytest.approx(
+        model.time_seconds(t), rel=1e-9, abs=1e-15
+    )

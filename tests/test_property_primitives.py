@@ -1,0 +1,130 @@
+"""Property-based tests (hypothesis) for the parallel primitives."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.primitives.atomics import decode_pair, encode_pair, first_winner, write_min
+from repro.primitives.hashing import dedup
+from repro.primitives.pack import pack, pack_index
+from repro.primitives.rand import random_permutation
+from repro.primitives.scan import exclusive_scan, inclusive_scan, segmented_scan
+from repro.primitives.sort import radix_argsort, radix_sort
+
+ints = st.integers(min_value=0, max_value=2**40)
+small_ints = st.integers(min_value=0, max_value=100)
+
+
+@given(st.lists(ints, max_size=200))
+def test_radix_sort_matches_sorted(xs):
+    got = radix_sort(np.array(xs, dtype=np.int64))
+    assert got.tolist() == sorted(xs)
+
+
+@given(st.lists(small_ints, min_size=1, max_size=200))
+def test_radix_argsort_is_permutation_and_stable(xs):
+    keys = np.array(xs, dtype=np.int64)
+    perm = radix_argsort(keys)
+    assert sorted(perm.tolist()) == list(range(len(xs)))
+    s = keys[perm]
+    assert np.all(s[:-1] <= s[1:])
+    # stability: equal keys keep input order
+    for v in set(xs):
+        positions = perm[s == v]
+        assert list(positions) == sorted(positions)
+
+
+@given(st.lists(st.integers(min_value=-1000, max_value=1000), max_size=200))
+def test_scan_prefix_property(xs):
+    a = np.array(xs, dtype=np.int64)
+    exc = exclusive_scan(a)
+    inc = inclusive_scan(a)
+    if len(xs):
+        assert np.array_equal(inc, exc + a)
+        assert exc[0] == 0
+
+
+@given(
+    st.lists(
+        st.tuples(small_ints, st.integers(min_value=0, max_value=5)), max_size=150
+    )
+)
+def test_segmented_scan_equals_per_segment_scan(pairs):
+    pairs.sort(key=lambda t: t[1])
+    if not pairs:
+        return
+    values = np.array([p[0] for p in pairs], dtype=np.int64)
+    segs = np.array([p[1] for p in pairs], dtype=np.int64)
+    out = segmented_scan(values, segs)
+    for s in np.unique(segs):
+        mask = segs == s
+        ref = np.concatenate(([0], np.cumsum(values[mask])[:-1]))
+        assert np.array_equal(out[mask], ref)
+
+
+@given(st.lists(st.booleans(), max_size=200))
+def test_pack_index_flatnonzero(flags):
+    f = np.array(flags, dtype=bool)
+    assert pack_index(f).tolist() == [i for i, x in enumerate(flags) if x]
+
+
+@given(st.lists(st.tuples(small_ints, st.booleans()), max_size=200))
+def test_pack_preserves_order(pairs):
+    v = np.array([p[0] for p in pairs], dtype=np.int64)
+    f = np.array([p[1] for p in pairs], dtype=bool)
+    assert pack(v, f).tolist() == [x for x, keep in pairs if keep]
+
+
+@given(
+    st.integers(min_value=1, max_value=50),
+    st.lists(st.tuples(small_ints, small_ints), min_size=1, max_size=300),
+)
+def test_write_min_equals_sequential_minimum(n, writes):
+    idx = np.array([i % n for i, _ in writes], dtype=np.int64)
+    vals = np.array([v for _, v in writes], dtype=np.int64)
+    dest = np.full(n, 1000, dtype=np.int64)
+    expected = dest.copy()
+    for i, v in zip(idx, vals):
+        expected[i] = min(expected[i], v)
+    write_min(dest, idx, vals)
+    assert np.array_equal(dest, expected)
+
+
+@given(st.lists(small_ints, max_size=300))
+def test_first_winner_unique_destinations(xs):
+    idx = np.array(xs, dtype=np.int64)
+    pos, dests = first_winner(idx)
+    assert dests.tolist() == sorted(set(xs))
+    # each winner position is the first occurrence of its destination
+    for p, d in zip(pos.tolist(), dests.tolist()):
+        assert xs[p] == d
+        assert xs.index(d) == p
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=2**30), max_size=100),
+    st.lists(st.integers(min_value=0, max_value=2**30), max_size=100),
+)
+def test_encode_pair_orders_lexicographically(ps, xs):
+    k = min(len(ps), len(xs))
+    if k < 2:
+        return
+    p = np.array(ps[:k], dtype=np.int64)
+    x = np.array(xs[:k], dtype=np.int64)
+    enc = encode_pair(p, x)
+    for i in range(k - 1):
+        assert (enc[i] < enc[i + 1]) == ((ps[i], xs[i]) < (ps[i + 1], xs[i + 1]))
+
+
+@given(st.lists(ints, max_size=400), st.integers(min_value=0, max_value=2**31))
+def test_dedup_equals_set(xs, seed):
+    got = dedup(np.array(xs, dtype=np.int64), seed=seed)
+    assert sorted(got.tolist()) == sorted(set(xs))
+    assert len(got) == len(set(xs))
+
+
+@given(st.integers(min_value=0, max_value=500), st.integers(min_value=0, max_value=2**31))
+def test_random_permutation_property(n, seed):
+    p = random_permutation(n, seed)
+    assert sorted(p.tolist()) == list(range(n))

@@ -1,0 +1,59 @@
+"""Property-based tests for the spanning-forest extraction."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.connectivity import (
+    decomp_spanning_forest,
+    verify_spanning_forest,
+)
+from repro.graphs.builder import from_edges
+
+COMMON = dict(
+    max_examples=30,
+    suppress_health_check=[HealthCheck.too_slow],
+    deadline=None,
+)
+
+
+@st.composite
+def graphs(draw, max_vertices=30, max_edges=80):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=max_edges,
+        )
+    )
+    src = np.array([a for a, _ in edges], dtype=np.int64)
+    dst = np.array([b for _, b in edges], dtype=np.int64)
+    return from_edges(src, dst, num_vertices=n)
+
+
+@settings(**COMMON)
+@given(
+    graph=graphs(),
+    seed=st.integers(min_value=0, max_value=500),
+    beta=st.floats(min_value=0.05, max_value=0.8),
+)
+def test_forest_always_valid(graph, seed, beta):
+    for variant in ("min", "arb", "arb-hybrid"):
+        src, dst = decomp_spanning_forest(
+            graph, beta=beta, variant=variant, seed=seed
+        )
+        verify_spanning_forest(graph, src, dst)
+
+
+@settings(**COMMON)
+@given(graph=graphs(), seed=st.integers(min_value=0, max_value=500))
+def test_forest_size_invariant(graph, seed):
+    """|F| = n - c regardless of randomness."""
+    from repro.analysis.verify import ground_truth_labels
+
+    src, _ = decomp_spanning_forest(graph, beta=0.3, seed=seed)
+    c = int(np.unique(ground_truth_labels(graph)).size) if graph.num_vertices else 0
+    assert src.size == graph.num_vertices - c

@@ -1,0 +1,62 @@
+"""Tests for the one-shot reproduction report."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.report import generate_report
+
+
+class TestGenerateReport:
+    @pytest.fixture(scope="class")
+    def report(self, tmp_path_factory):
+        outdir = tmp_path_factory.mktemp("report")
+        written = generate_report(outdir, scale="tiny", beta=0.2, seed=1)
+        return outdir, written
+
+    def test_all_artifacts_written(self, report):
+        _, written = report
+        expected = {
+            "table1", "table2", "figure2", "figure3", "figure4",
+            "figure5", "figure6", "figure7", "figure8", "summary",
+        }
+        assert expected <= set(written)
+
+    def test_table2_json_shape(self, report):
+        outdir, _ = report
+        data = json.loads((outdir / "table2.json").read_text())
+        assert "decomp-arb-CC" in data
+        assert "line" in data["decomp-arb-CC"]
+        assert data["decomp-arb-CC"]["line"]["1"] > 0
+
+    def test_table2_csv_exists(self, report):
+        outdir, _ = report
+        text = (outdir / "table2.csv").read_text()
+        assert text.startswith("algorithm,graph,threads,seconds")
+
+    def test_figure2_per_graph_csvs(self, report):
+        outdir, _ = report
+        assert (outdir / "figure2_line.csv").exists()
+        assert (outdir / "figure2_random.csv").exists()
+
+    def test_figure4_series_decrease(self, report):
+        outdir, _ = report
+        data = json.loads((outdir / "figure4.json").read_text())
+        for graph, by_beta in data.items():
+            for beta, series in by_beta.items():
+                assert series == sorted(series, reverse=True), (graph, beta)
+
+    def test_summary_markdown(self, report):
+        outdir, _ = report
+        text = (outdir / "summary.md").read_text()
+        assert "# Reproduction report" in text
+        assert "self-relative speedup" in text
+        assert "Table 2" in text
+
+    def test_cli_report_command(self, tmp_path, capsys):
+        code = main(["--scale", "tiny", "report", str(tmp_path / "out")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "summary" in out
+        assert (tmp_path / "out" / "summary.md").exists()

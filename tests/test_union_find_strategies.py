@@ -1,0 +1,76 @@
+"""Tests for the union-find compression-strategy variants."""
+
+import numpy as np
+import pytest
+
+from repro.connectivity.union_find import COMPRESSION_STRATEGIES, UnionFind
+from repro.pram.cost import tracking
+
+STRATEGIES = list(COMPRESSION_STRATEGIES)
+
+
+@pytest.mark.parametrize("compression", STRATEGIES)
+class TestStrategiesAgree:
+    def test_chain_unions(self, compression):
+        uf = UnionFind(50, compression=compression)
+        for i in range(49):
+            assert uf.union(i, i + 1)
+        assert len(set(uf.components().tolist())) == 1
+
+    def test_random_union_sequence_matches_reference(self, compression):
+        rng = np.random.default_rng(3)
+        ops = [(int(a), int(b)) for a, b in rng.integers(0, 40, size=(200, 2))]
+        uf = UnionFind(40, compression=compression)
+        ref = UnionFind(40, compression="none")
+        for a, b in ops:
+            assert uf.union(a, b) == ref.union(a, b)
+        assert np.array_equal(
+            _canon(uf.components()), _canon(ref.components())
+        )
+
+    def test_find_is_idempotent(self, compression):
+        uf = UnionFind(10, compression=compression)
+        uf.union(0, 5)
+        uf.union(5, 7)
+        r = uf.find(7)
+        assert uf.find(7) == r
+        assert uf.find(0) == r
+
+
+def _canon(labels: np.ndarray) -> np.ndarray:
+    from repro.connectivity.base import canonicalize_labels
+
+    return canonicalize_labels(labels)
+
+
+class TestStrategyProperties:
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown compression"):
+            UnionFind(5, compression="telepathy")
+
+    def test_compression_shortens_later_finds(self):
+        # build a long chain with no compression, then compare the cost
+        # of repeated finds with full compression vs none
+        def chain_cost(compression: str) -> int:
+            with tracking() as t:
+                uf = UnionFind(512, compression=compression)
+                # force a deep structure: union in a pattern that yields
+                # rank ties and longer paths
+                for i in range(1, 512):
+                    uf.union(0, i)
+                for _ in range(3):
+                    for v in range(512):
+                        uf.find(v)
+                uf.flush_costs()
+            return int(t.work_by_kind()["seq"])
+
+        assert chain_cost("full") <= chain_cost("none")
+
+    def test_halving_flattens_paths(self):
+        uf = UnionFind(8, compression="halving")
+        # manually build a chain 7 -> 6 -> ... -> 0
+        uf.parent = list(range(-1, 7))
+        uf.parent[0] = 0
+        uf.find(7)
+        # path halving must have shortened 7's path
+        assert uf.parent[7] != 6
