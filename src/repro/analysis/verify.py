@@ -82,7 +82,8 @@ def verify_labeling(
     n = graph.num_vertices
     if labels.shape != (n,):
         raise VerificationError(
-            f"labels shape {labels.shape} != ({n},) for this graph"
+            f"labels shape {labels.shape} != ({n},) for this graph",
+            reason="shape",
         )
     src, dst = graph.edge_array()
     crossing = labels[src] != labels[dst]
@@ -90,7 +91,8 @@ def verify_labeling(
         i = int(np.flatnonzero(crossing)[0])
         raise VerificationError(
             f"edge ({int(src[i])}, {int(dst[i])}) crosses labels "
-            f"{int(labels[src[i]])} != {int(labels[dst[i]])}"
+            f"{int(labels[src[i]])} != {int(labels[dst[i]])}",
+            reason="crossing-edge",
         )
     truth = reference if reference is not None else ground_truth_labels(graph)
     if not labelings_equivalent(labels, truth):
@@ -98,7 +100,8 @@ def verify_labeling(
         want = int(np.unique(truth).size)
         raise VerificationError(
             f"labeling partitions vertices into {got} classes; "
-            f"the graph has {want} components"
+            f"the graph has {want} components",
+            reason="partition-mismatch",
         )
 
 
@@ -116,16 +119,21 @@ def verify_decomposition(
     labels = np.asarray(labels)
     n = graph.num_vertices
     if labels.shape != (n,):
-        raise VerificationError("decomposition labels must cover all vertices")
+        raise VerificationError(
+            "decomposition labels must cover all vertices", reason="shape"
+        )
     if n == 0:
         return 0
     if labels.min() < 0 or labels.max() >= n:
-        raise VerificationError("decomposition labels must be vertex ids")
+        raise VerificationError(
+            "decomposition labels must be vertex ids", reason="label-range"
+        )
     centers = np.unique(labels)
     if not np.array_equal(labels[centers], centers):
         bad = centers[labels[centers] != centers][0]
         raise VerificationError(
-            f"center {int(bad)} is not in its own partition"
+            f"center {int(bad)} is not in its own partition",
+            reason="center-outside-partition",
         )
     if check_connected:
         # One BFS inside each partition, restricted to same-label edges.
@@ -145,7 +153,8 @@ def verify_decomposition(
             bad = int(np.flatnonzero(~seen)[0])
             raise VerificationError(
                 f"vertex {bad} cannot reach its center {int(labels[bad])} "
-                "inside its own partition"
+                "inside its own partition",
+                reason="disconnected-partition",
             )
     src, dst = graph.edge_array()
     return int(np.count_nonzero(labels[src] != labels[dst]))

@@ -18,6 +18,12 @@ Gives shell access to the whole reproduction:
     Regenerate one of the paper's figures as ASCII series.
 
 All commands accept ``--scale {tiny,small,medium}`` (default small).
+
+``run`` and ``table2`` additionally take the resilience options
+(``--retries``, ``--inject-fault``; ``table2`` also ``--checkpoint`` /
+``--resume``) — see docs/robustness.md.  Any :class:`~repro.errors.
+ReproError` surfaces as a one-line ``error: ...`` on stderr and exit
+code 2, never a traceback.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.errors import ParameterError, ReproError
 from repro.experiments import (
     ALGORITHMS,
     GRAPHS,
@@ -81,6 +88,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="thread counts to report (e.g. 1 8 40h)",
     )
     run.add_argument("--no-verify", action="store_true")
+    _add_resilience_options(run)
 
     dec = sub.add_parser("decompose", help="low-diameter decomposition quality")
     dec.add_argument("graph", choices=sorted(GRAPHS))
@@ -96,6 +104,19 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("table1", help="regenerate Table 1")
     t2 = sub.add_parser("table2", help="regenerate Table 2")
     t2.add_argument("--beta", type=float, default=0.2)
+    t2.add_argument("--seed", type=int, default=1)
+    _add_resilience_options(t2)
+    t2.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="record each finished cell to PATH (atomic JSON checkpoint)",
+    )
+    t2.add_argument(
+        "--resume",
+        action="store_true",
+        help="load PATH first and skip already-recorded cells "
+        "(requires --checkpoint)",
+    )
 
     fig = sub.add_parser("figure", help="regenerate a figure's series")
     fig.add_argument("number", type=int, choices=[2, 3, 4, 5, 6, 7, 8])
@@ -108,6 +129,39 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--beta", type=float, default=0.2)
     rep.add_argument("--seed", type=int, default=1)
     return parser
+
+
+def _add_resilience_options(sub: argparse.ArgumentParser) -> None:
+    """The flags shared by the resilient commands (run, table2)."""
+    sub.add_argument(
+        "--retries",
+        type=int,
+        metavar="N",
+        help="retry failing runs up to N times per implementation, "
+        "rotating the seed each attempt (enables the resilient runner)",
+    )
+    sub.add_argument(
+        "--inject-fault",
+        metavar="SPEC",
+        help="deterministic mid-run fault injection, e.g. "
+        "'drop_frontier:vertices=10|11' or 'cas_flip:p=0.5' "
+        "(see docs/robustness.md for the grammar)",
+    )
+
+
+def _resilient_runner(args, checkpoint=None, verify: bool = True):
+    """Build a ResilientRunner from the parsed resilience flags."""
+    from repro.resilience import ResilientRunner, RetryPolicy, parse_fault_plan
+
+    retry = None
+    if args.retries is not None:
+        retry = RetryPolicy(max_attempts=args.retries + 1)
+    plan = None
+    if args.inject_fault:
+        plan = parse_fault_plan(args.inject_fault, seed=getattr(args, "seed", 1))
+    return ResilientRunner(
+        retry=retry, checkpoint=checkpoint, verify=verify, fault_plan=plan
+    )
 
 
 def _cmd_list(args) -> int:
@@ -125,15 +179,24 @@ def _cmd_list(args) -> int:
 def _cmd_run(args) -> int:
     graph = build_graph(args.graph, args.scale)
     print(f"{args.graph} [{args.scale}]: {graph}")
-    kwargs = (
-        {"beta": args.beta, "seed": args.seed}
-        if args.algorithm.startswith("decomp-")
-        else {}
-    )
-    prof = profile_run(
-        args.algorithm, graph, graph_name=args.graph,
-        verify=not args.no_verify, **kwargs,
-    )
+    resilient = args.retries is not None or args.inject_fault is not None
+    if resilient:
+        runner = _resilient_runner(args, verify=not args.no_verify)
+        outcome = runner.run_cell(
+            args.algorithm, graph, graph_name=args.graph,
+            beta=args.beta, seed=args.seed,
+        )
+        prof = outcome.profile
+    else:
+        kwargs = (
+            {"beta": args.beta, "seed": args.seed}
+            if args.algorithm.startswith("decomp-")
+            else {}
+        )
+        prof = profile_run(
+            args.algorithm, graph, graph_name=args.graph,
+            verify=not args.no_verify, **kwargs,
+        )
     res = prof.result
     print(f"components : {res.num_components}")
     print(f"iterations : {res.iterations}")
@@ -144,6 +207,15 @@ def _cmd_run(args) -> int:
         print(f"T({spec:>4})    : {prof.seconds_at(spec):.6f}s simulated")
     if not args.no_verify:
         print("verified   : OK")
+    if resilient:
+        print(f"attempts   : {outcome.attempts}")
+        if outcome.degraded:
+            print(f"degraded   : {outcome.requested} -> {outcome.algorithm}")
+        for record in outcome.failures:
+            print(
+                f"failure    : attempt {record.attempt} of {record.algorithm} "
+                f"({record.error_type}: {record.message}) -> {record.action}"
+            )
     return 0
 
 
@@ -186,7 +258,49 @@ def _cmd_table1(args) -> int:
 
 
 def _cmd_table2(args) -> int:
-    print(format_table2(run_table2(scale=args.scale, beta=args.beta)))
+    resilient = (
+        args.retries is not None
+        or args.inject_fault is not None
+        or args.checkpoint is not None
+        or args.resume
+    )
+    if not resilient:
+        print(format_table2(run_table2(scale=args.scale, beta=args.beta)))
+        return 0
+
+    from repro.resilience import SweepCheckpoint
+
+    checkpoint = None
+    if args.resume and not args.checkpoint:
+        raise ParameterError("--resume requires --checkpoint PATH")
+    if args.checkpoint:
+        meta = {"scale": args.scale, "beta": args.beta, "seed": args.seed}
+        if args.resume:
+            checkpoint = SweepCheckpoint.load(args.checkpoint, meta=meta)
+        else:
+            checkpoint = SweepCheckpoint(args.checkpoint, meta=meta)
+    runner = _resilient_runner(args, checkpoint=checkpoint)
+    sweep = runner.run_table2(scale=args.scale, beta=args.beta, seed=args.seed)
+    print(format_table2(sweep["table"]))
+    resumed = sum(
+        1
+        for row in sweep["table"].values()
+        for _ in row
+    ) - runner.cells_computed
+    print(
+        f"cells      : {runner.cells_computed} computed, "
+        f"{resumed} from checkpoint"
+    )
+    degraded = [
+        f"{algo}/{gname}->{used}"
+        for algo, row in sweep["resolved"].items()
+        for gname, used in row.items()
+        if used != algo
+    ]
+    if degraded:
+        print(f"degraded   : {', '.join(degraded)}")
+    if sweep["failures"]:
+        print(f"failures   : {len(sweep['failures'])} recorded attempts failed")
     return 0
 
 
@@ -237,9 +351,19 @@ _COMMANDS = {
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Domain failures (:class:`~repro.errors.ReproError`) print a
+    one-line ``error: ...`` to stderr and exit 2 — the shell-facing
+    contract for scripted sweeps; tracebacks are reserved for actual
+    bugs.
+    """
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -118,7 +118,10 @@ def decomp_cc(
     else:
         raise ConvergenceError(
             f"decomp_cc exceeded {_MAX_ITERATIONS} iterations "
-            f"(beta={beta}, variant={variant})"
+            f"(beta={beta}, variant={variant})",
+            algorithm=f"decomp-{variant}-CC",
+            rounds_used=_MAX_ITERATIONS,
+            budget=_MAX_ITERATIONS,
         )
 
     # ---- upward pass: RELABELUP through the contraction chain. ------

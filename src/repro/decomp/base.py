@@ -23,6 +23,8 @@ from repro.decomp.shifts import ShiftSchedule
 from repro.errors import ParameterError
 from repro.graphs.csr import CSRGraph
 from repro.pram.cost import CostTracker, current_tracker
+from repro.resilience.faults import active_fault_plan
+from repro.resilience.policy import RoundBudget
 
 __all__ = ["Decomposition", "DecompState", "UNVISITED"]
 
@@ -98,11 +100,24 @@ class DecompState:
     variant modules drive it round by round.
     """
 
-    def __init__(self, graph: CSRGraph, beta: float, seed: int, mode: str) -> None:
+    def __init__(
+        self,
+        graph: CSRGraph,
+        beta: float,
+        seed: int,
+        mode: str,
+        budget: Optional[RoundBudget] = None,
+        algorithm: str = "decomp",
+    ) -> None:
         if not graph.symmetric:
             raise ParameterError("decomposition requires a symmetric graph")
         self.graph = graph
         n = graph.num_vertices
+        self.budget = (
+            budget
+            if budget is not None
+            else RoundBudget.for_decomposition(n, beta, algorithm=algorithm)
+        )
         tracker = current_tracker()
         with tracker.phase("init"):
             self.schedule = ShiftSchedule(n=n, beta=beta, seed=seed, mode=mode)  # type: ignore[arg-type]
@@ -136,8 +151,16 @@ class DecompState:
         the shared frontier array, after the vertices discovered last
         round — exactly the frontier layout of the paper's
         implementation.
+
+        This is also the round boundary, so two resilience hooks live
+        here: the :class:`RoundBudget` check (a runaway loop raises a
+        structured :class:`~repro.errors.ConvergenceError` instead of
+        spinning) and the frontier/label fault-injection points of an
+        armed :class:`~repro.resilience.faults.FaultPlan`.
         """
+        self.budget.check(self.round)
         tracker = current_tracker()
+        plan = active_fault_plan()
         with tracker.phase("bfsPre"):
             cum = self.schedule.cumulative(self.round)
             candidates = self.schedule.order[self.consumed : cum]
@@ -148,11 +171,15 @@ class DecompState:
                 self.C[fresh] = fresh
                 tracker.add("scatter", work=float(fresh.size), depth=1.0)
                 self.visited += int(fresh.size)
-            self.frontier = (
+            frontier = (
                 np.concatenate((next_frontier, fresh))
                 if next_frontier.size or fresh.size
                 else next_frontier
             )
+            if plan is not None:
+                frontier = plan.filter_frontier(frontier, self.round)
+                plan.corrupt_labels(self.C, self.round, int(UNVISITED))
+            self.frontier = frontier
             self.frontier_sizes.append(int(self.frontier.size))
             tracker.sync()
 

@@ -93,6 +93,7 @@ def decomp_arb(
     beta: float,
     seed: int = 1,
     schedule_mode: str = "permutation",
+    round_budget=None,
 ) -> Decomposition:
     """Run Decomp-Arb (Algorithm 3) on *graph*.
 
@@ -107,11 +108,17 @@ def decomp_arb(
     schedule_mode:
         ``"permutation"`` (the paper's simulation, default) or
         ``"exponential"`` (exact draws).
+    round_budget:
+        Optional :class:`~repro.resilience.policy.RoundBudget`; the
+        default is the generous O(log n / beta)-derived bound.
 
     Complexity: O(m) expected work, O(log^2 n / beta) depth w.h.p.
     """
     _validate_beta(beta)
-    state = DecompState(graph, beta, seed, schedule_mode)
+    state = DecompState(
+        graph, beta, seed, schedule_mode,
+        budget=round_budget, algorithm="decomp-arb",
+    )
     tracker = current_tracker()
     next_frontier = np.zeros(0, dtype=np.int64)
     while True:

@@ -118,6 +118,7 @@ def decomp_arb_hybrid(
     seed: int = 1,
     schedule_mode: str = "permutation",
     dense_threshold: float = DENSE_THRESHOLD,
+    round_budget=None,
 ) -> Decomposition:
     """Run Decomp-Arb-Hybrid on *graph*.
 
@@ -130,9 +131,14 @@ def decomp_arb_hybrid(
     dense_threshold:
         Fraction of remaining unvisited vertices above which a round
         runs read-based (paper: 0.20).  The ablation bench sweeps this.
+    round_budget:
+        Optional :class:`~repro.resilience.policy.RoundBudget` override.
     """
     _validate_beta(beta)
-    state = DecompState(graph, beta, seed, schedule_mode)
+    state = DecompState(
+        graph, beta, seed, schedule_mode,
+        budget=round_budget, algorithm="decomp-arb-hybrid",
+    )
     tracker = current_tracker()
     next_frontier = np.zeros(0, dtype=np.int64)
     deferred: List[np.ndarray] = []

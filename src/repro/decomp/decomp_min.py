@@ -133,16 +133,21 @@ def decomp_min(
     beta: float,
     seed: int = 1,
     schedule_mode: str = "permutation",
+    round_budget=None,
 ) -> Decomposition:
     """Run Decomp-Min (Algorithm 2) on *graph*.
 
     The theory-faithful variant: expected inter-component edges
     <= beta*m, partition diameter O(log n / beta) w.h.p.; O(m) expected
     work, O(log^2 n / beta) depth w.h.p. — at the practical price of
-    two synchronized passes per round.
+    two synchronized passes per round.  ``round_budget`` optionally
+    overrides the default O(log n / beta)-derived round bound.
     """
     _validate_beta(beta)
-    state = DecompState(graph, beta, seed, schedule_mode)
+    state = DecompState(
+        graph, beta, seed, schedule_mode,
+        budget=round_budget, algorithm="decomp-min",
+    )
     tracker = current_tracker()
     with tracker.phase("init"):
         pair = np.full(graph.num_vertices, _PAIR_INF, dtype=np.int64)

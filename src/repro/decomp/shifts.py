@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.errors import ParameterError
 from repro.pram.cost import current_tracker
+from repro.resilience.faults import active_fault_plan
 from repro.primitives.rand import exponential_shifts, hash_randoms, random_permutation
 from repro.primitives.sort import radix_argsort
 
@@ -138,11 +139,22 @@ class ShiftSchedule:
         return int(self._cum_by_round.size)
 
     def cumulative(self, round_index: int) -> int:
-        """Number of candidate centers whose start time is < round+1."""
+        """Number of candidate centers whose start time is < round+1.
+
+        An armed :class:`~repro.resilience.faults.FaultPlan` with a
+        ``shift_perturb`` spec may withhold part of an early round's
+        quota — simulating perturbed exponential draws.  The plan only
+        perturbs a bounded prefix of rounds, so every vertex is still
+        released eventually (the schedule stays a schedule).
+        """
         if round_index < 0:
             raise ParameterError(f"round_index must be >= 0, got {round_index}")
         idx = min(round_index, self._cum_by_round.size - 1)
-        return int(self._cum_by_round[idx])
+        cum = int(self._cum_by_round[idx])
+        plan = active_fault_plan()
+        if plan is not None:
+            cum = plan.perturb_cumulative(round_index, cum, self.n)
+        return cum
 
     def new_candidates(self, round_index: int, already: int) -> np.ndarray:
         """Candidates whose start time arrives at *round_index*.

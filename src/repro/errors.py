@@ -3,9 +3,17 @@
 Keeping a small, explicit exception hierarchy lets callers distinguish
 user errors (bad graph input, bad parameters) from internal invariant
 violations without string-matching messages.
+
+The operational errors carry structured fields (see
+:class:`ConvergenceError` and :class:`VerificationError`) so the
+resilience layer (:mod:`repro.resilience`) can log, classify and react
+to failures programmatically; message-only construction remains
+supported for backward compatibility.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 
 class ReproError(Exception):
@@ -17,7 +25,22 @@ class GraphFormatError(ReproError):
 
     Examples: negative vertex ids, offsets array that is not monotone,
     an edge endpoint that is out of range for the declared vertex count.
+    File readers attach the 1-based line number and the offending text
+    where they are known (:attr:`line_number`, :attr:`line_text`).
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        line_number: Optional[int] = None,
+        line_text: Optional[str] = None,
+    ) -> None:
+        if line_number is not None:
+            message = f"{message} (line {line_number}: {line_text!r})"
+        super().__init__(message)
+        self.line_number = line_number
+        self.line_text = line_text
 
 
 class ParameterError(ReproError, ValueError):
@@ -34,11 +57,73 @@ class ConvergenceError(ReproError):
     """Raised when an iterative algorithm exceeds its round budget.
 
     All fixed-point loops in this package (pointer jumping, label
-    propagation, hash-table probing) carry explicit round limits far
-    above their theoretical bounds; hitting one indicates a bug rather
-    than a hard input, so we fail loudly instead of spinning.
+    propagation, hash-table probing, the DECOMP BFS rounds and the
+    outer decompose-contract iteration) carry explicit round limits far
+    above their theoretical bounds; hitting one indicates a bug or
+    injected fault rather than a hard input, so we fail loudly instead
+    of spinning.
+
+    Structured fields (``None`` when constructed message-only):
+
+    - :attr:`algorithm` — name of the looping algorithm;
+    - :attr:`rounds_used` — rounds executed when the budget tripped;
+    - :attr:`budget` — the round budget that was exceeded.
     """
+
+    def __init__(
+        self,
+        message: Optional[str] = None,
+        *,
+        algorithm: Optional[str] = None,
+        rounds_used: Optional[int] = None,
+        budget: Optional[int] = None,
+    ) -> None:
+        if message is None:
+            message = (
+                f"{algorithm or 'algorithm'} exceeded its round budget: "
+                f"{rounds_used} rounds used, budget {budget}"
+            )
+        super().__init__(message)
+        self.algorithm = algorithm
+        self.rounds_used = rounds_used
+        self.budget = budget
 
 
 class VerificationError(ReproError):
-    """Raised by :mod:`repro.analysis.verify` when a labeling is invalid."""
+    """Raised by :mod:`repro.analysis.verify` when a labeling is invalid.
+
+    :attr:`reason` is a short machine-readable code (``"shape"``,
+    ``"crossing-edge"``, ``"partition-mismatch"``, ...) the resilience
+    layer records in its failure log; ``None`` for message-only
+    construction.
+    """
+
+    def __init__(self, message: str = "", *, reason: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class CheckpointError(ReproError):
+    """Raised when a sweep checkpoint file cannot be used.
+
+    Examples: unreadable/corrupt JSON, a checkpoint format version this
+    code does not understand, or resuming with sweep parameters that do
+    not match the ones the checkpoint was recorded under.
+    """
+
+
+class FaultSpecError(ReproError, ValueError):
+    """Raised when a fault-injection spec string cannot be parsed."""
+
+
+class ResilienceExhaustedError(ReproError):
+    """Raised by :class:`repro.resilience.runner.ResilientRunner` when a
+    cell keeps failing after every retry and every fallback algorithm.
+
+    :attr:`failures` holds the per-attempt failure records (see
+    :class:`repro.resilience.runner.FailureRecord`).
+    """
+
+    def __init__(self, message: str, *, failures: Optional[list] = None) -> None:
+        super().__init__(message)
+        self.failures = failures or []

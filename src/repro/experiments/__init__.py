@@ -11,6 +11,7 @@ from repro.experiments.calibration import (
 )
 from repro.experiments.export import (
     export_json,
+    export_resilient_table2,
     export_series_csv,
     export_table2_csv,
 )
@@ -32,11 +33,13 @@ from repro.experiments.harness import (
 )
 from repro.experiments.registry import (
     ALGORITHMS,
+    FALLBACK_CHAINS,
     GRAPHS,
     PAPER_ALGORITHM_ORDER,
     PAPER_GRAPH_ORDER,
     build_graph,
     build_suite,
+    fallback_chain,
     get_algorithm,
 )
 from repro.experiments.tables import (
@@ -48,6 +51,7 @@ from repro.experiments.tables import (
 
 __all__ = [
     "ALGORITHMS",
+    "FALLBACK_CHAINS",
     "GRAPHS",
     "PAPER_ALGORITHM_ORDER",
     "PAPER_GRAPH_ORDER",
@@ -56,8 +60,10 @@ __all__ = [
     "build_graph",
     "build_suite",
     "export_json",
+    "export_resilient_table2",
     "export_series_csv",
     "export_table2_csv",
+    "fallback_chain",
     "fig2_thread_sweep",
     "fig3_beta_sweep",
     "fig4_edges_remaining",

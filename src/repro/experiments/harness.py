@@ -15,6 +15,7 @@ randomized.
 
 from __future__ import annotations
 
+import contextlib
 import statistics
 import time
 from dataclasses import dataclass, field
@@ -26,6 +27,7 @@ from repro.experiments.registry import AlgorithmSpec, get_algorithm
 from repro.graphs.csr import CSRGraph
 from repro.pram.cost import CostTracker, tracking
 from repro.pram.machine import MachineModel, ThreadSpec, paper_thread_sweep
+from repro.resilience.faults import FaultPlan
 
 __all__ = ["RunProfile", "profile_run", "sweep_seconds", "median_simulated"]
 
@@ -75,6 +77,7 @@ def profile_run(
     graph: CSRGraph,
     graph_name: str = "?",
     verify: bool = True,
+    fault_plan: Optional[FaultPlan] = None,
     **algorithm_kwargs,
 ) -> RunProfile:
     """Run *algorithm* once on *graph* under a fresh tracker.
@@ -82,10 +85,14 @@ def profile_run(
     ``algorithm`` is a registry name (see
     :data:`repro.experiments.registry.ALGORITHMS`); keyword arguments
     are forwarded (e.g. ``beta=0.1, seed=3`` for the decomp variants).
+    An optional :class:`~repro.resilience.faults.FaultPlan` is armed
+    for the duration of the run (each call counts as one run against
+    the plan's sabotage budget).
     """
     spec: AlgorithmSpec = get_algorithm(algorithm)
+    ctx = fault_plan.activate() if fault_plan is not None else contextlib.nullcontext()
     t0 = time.perf_counter()
-    with tracking() as tracker:
+    with ctx, tracking() as tracker:
         result = spec.run(graph, **algorithm_kwargs)
     wall = time.perf_counter() - t0
     if verify:

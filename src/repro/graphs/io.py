@@ -15,6 +15,7 @@ from typing import Tuple, Union
 import numpy as np
 
 from repro.errors import GraphFormatError
+from repro.fsutil import atomic_write_path
 from repro.graphs.builder import from_edges
 from repro.graphs.csr import CSRGraph
 
@@ -30,12 +31,39 @@ __all__ = [
 PathLike = Union[str, os.PathLike]
 
 
+def _locate_bad_line(path: Path) -> tuple[int, str]:
+    """Find the first data line of *path* that is not two integers.
+
+    Returns ``(1-based line number, stripped line text)``; falls back
+    to line 0 / empty text when every line individually parses (e.g.
+    the file as a whole was unreadable for another reason).
+    """
+    with path.open("r", encoding="utf-8", errors="replace") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split()
+            try:
+                ok = len(fields) == 2 and all(int(f) >= 0 for f in fields)
+            except ValueError:
+                ok = False
+            if not ok:
+                return lineno, line
+    return 0, ""
+
+
 def read_edge_list(path: PathLike, num_vertices: int | None = None) -> CSRGraph:
     """Read a SNAP-style whitespace edge list into a symmetric CSR graph.
 
     Lines starting with ``#`` (SNAP headers) are ignored; each remaining
     line must hold two non-negative integers ``u v``.  The result is
     symmetrized and deduplicated like every other input.
+
+    A malformed file raises :class:`~repro.errors.GraphFormatError`
+    carrying the 1-based ``line_number`` and offending ``line_text`` —
+    the parse itself stays on the fast ``np.loadtxt`` path and the file
+    is only re-scanned to locate the bad line once a failure is certain.
     """
     import warnings
 
@@ -45,6 +73,13 @@ def read_edge_list(path: PathLike, num_vertices: int | None = None) -> CSRGraph:
             warnings.filterwarnings("ignore", message=".*no data.*")
             data = np.loadtxt(path, dtype=np.int64, comments="#", ndmin=2)
     except ValueError as exc:
+        lineno, text = _locate_bad_line(path)
+        if lineno:
+            raise GraphFormatError(
+                f"malformed edge list in {path}",
+                line_number=lineno,
+                line_text=text,
+            ) from exc
         raise GraphFormatError(f"malformed edge list in {path}: {exc}") from exc
     if data.size == 0:
         return from_edges(
@@ -53,24 +88,39 @@ def read_edge_list(path: PathLike, num_vertices: int | None = None) -> CSRGraph:
             num_vertices=num_vertices or 0,
         )
     if data.shape[1] != 2:
+        lineno, text = _locate_bad_line(path)
         raise GraphFormatError(
-            f"edge list in {path} must have two columns, got {data.shape[1]}"
+            f"edge list in {path} must have two columns, got {data.shape[1]}",
+            line_number=lineno or None,
+            line_text=text or None,
+        )
+    if data.min() < 0:
+        lineno, text = _locate_bad_line(path)
+        raise GraphFormatError(
+            f"edge list in {path} has negative vertex ids",
+            line_number=lineno or None,
+            line_text=text or None,
         )
     return from_edges(data[:, 0], data[:, 1], num_vertices=num_vertices)
 
 
 def write_edge_list(graph: CSRGraph, path: PathLike, header: str = "") -> None:
-    """Write each undirected edge once in SNAP format (``u<TAB>v``)."""
+    """Write each undirected edge once in SNAP format (``u<TAB>v``).
+
+    The write is atomic (temp file + ``os.replace``): a crash mid-write
+    never leaves a truncated edge list that would silently load as a
+    smaller graph.
+    """
     from repro.graphs.ops import edges_as_undirected_pairs
 
     src, dst = edges_as_undirected_pairs(graph)
-    path = Path(path)
-    with path.open("w", encoding="utf-8") as fh:
-        if header:
-            for line in header.splitlines():
-                fh.write(f"# {line}\n")
-        fh.write(f"# Nodes: {graph.num_vertices} Edges: {src.size}\n")
-        np.savetxt(fh, np.column_stack((src, dst)), fmt="%d", delimiter="\t")
+    with atomic_write_path(Path(path)) as tmp:
+        with tmp.open("w", encoding="utf-8") as fh:
+            if header:
+                for line in header.splitlines():
+                    fh.write(f"# {line}\n")
+            fh.write(f"# Nodes: {graph.num_vertices} Edges: {src.size}\n")
+            np.savetxt(fh, np.column_stack((src, dst)), fmt="%d", delimiter="\t")
 
 
 def read_adjacency_graph(path: PathLike, symmetric: bool = True) -> CSRGraph:
@@ -123,13 +173,22 @@ def write_adjacency_graph(graph: CSRGraph, path: PathLike) -> None:
 
 
 def save_npz(graph: CSRGraph, path: PathLike) -> None:
-    """Persist a CSR graph losslessly (offsets + targets + flags)."""
-    np.savez_compressed(
-        Path(path),
-        offsets=graph.offsets,
-        targets=graph.targets,
-        symmetric=np.array([graph.symmetric]),
-    )
+    """Persist a CSR graph losslessly (offsets + targets + flags).
+
+    Atomic like :func:`write_edge_list`; keeps ``np.savez``'s behavior
+    of appending ``.npz`` when the name lacks it (the temp file carries
+    the suffix so numpy does not rename it mid-flight).
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    with atomic_write_path(path, suffix=".npz") as tmp:
+        np.savez_compressed(
+            tmp,
+            offsets=graph.offsets,
+            targets=graph.targets,
+            symmetric=np.array([graph.symmetric]),
+        )
 
 
 def load_npz(path: PathLike) -> CSRGraph:

@@ -25,6 +25,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.pram.cost import current_tracker
+from repro.resilience.faults import active_fault_plan
 
 __all__ = [
     "write_min",
@@ -94,10 +95,18 @@ def first_winner(idx: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     ``winner_destinations = idx[winner_positions]``.
 
     Charged as one atomic op per attempt plus O(1) depth.
+
+    An armed :class:`~repro.resilience.faults.FaultPlan` may flip
+    winners to *other legal contenders* (a different arbitrary
+    schedule) — the hook cannot invent a winner that did not race.
     """
     idx = np.asarray(idx)
     current_tracker().add("atomic", work=float(idx.shape[0]), depth=1.0)
     if idx.shape[0] == 0:
         return np.zeros(0, dtype=np.int64), idx
     dests, positions = np.unique(idx, return_index=True)
-    return positions.astype(np.int64, copy=False), dests
+    positions = positions.astype(np.int64, copy=False)
+    plan = active_fault_plan()
+    if plan is not None:
+        positions, dests = plan.perturb_cas(idx, positions, dests)
+    return positions, dests

@@ -1,0 +1,142 @@
+"""Atomic, versioned sweep checkpoints: resume a killed grid run.
+
+The Figure 2 / Table 2 grids are hours of simulated-machine cells at
+paper scale; one crash must not lose the completed prefix.  A
+:class:`SweepCheckpoint` records each finished (algorithm x graph x
+trial) cell as JSON and rewrites the file **atomically** (temp file +
+``os.replace``, via :mod:`repro.fsutil`) after every cell, so a kill at
+any instant leaves either the previous consistent checkpoint or the
+new one — never a torn file.
+
+The file carries a format ``version`` and the sweep's identifying
+``meta`` (scale, beta, seed, ...).  Resuming validates both: a version
+this code does not understand, or a meta mismatch (resuming a
+``beta=0.2`` sweep with ``--beta 0.5``) raises
+:class:`~repro.errors.CheckpointError` instead of silently mixing
+incompatible cells.  Because every simulated quantity in this package
+is a pure function of (algorithm, graph, seed), replaying the
+checkpointed cells verbatim reproduces the uninterrupted run's output
+exactly (the wall-clock field is the single nondeterministic extra,
+and it is carried *from the checkpoint*, not re-measured).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.errors import CheckpointError
+from repro.fsutil import atomic_write_text
+
+__all__ = ["SweepCheckpoint", "CHECKPOINT_VERSION", "cell_key"]
+
+#: Bump when the on-disk layout changes incompatibly.
+CHECKPOINT_VERSION = 1
+
+PathLike = Union[str, os.PathLike]
+
+
+def cell_key(algorithm: str, graph: str, trial: int = 0) -> str:
+    """The stable string key one sweep cell is stored under."""
+    return f"{algorithm}|{graph}|{trial}"
+
+
+class SweepCheckpoint:
+    """Persistent record of completed sweep cells.
+
+    Parameters
+    ----------
+    path:
+        Checkpoint file location; created on the first :meth:`record`.
+    meta:
+        Sweep-identifying parameters.  Stored on first save and matched
+        on :meth:`load` so a checkpoint is only resumed into the same
+        sweep configuration.
+    """
+
+    def __init__(self, path: PathLike, meta: Optional[Dict[str, object]] = None):
+        self.path = Path(path)
+        self.meta: Dict[str, object] = dict(meta or {})
+        self.cells: Dict[str, dict] = {}
+
+    # -- persistence -------------------------------------------------------
+
+    @classmethod
+    def load(
+        cls, path: PathLike, meta: Optional[Dict[str, object]] = None
+    ) -> "SweepCheckpoint":
+        """Load an existing checkpoint (or start empty if *path* is absent).
+
+        Raises :class:`CheckpointError` on unreadable/corrupt files,
+        unknown versions, or a *meta* mismatch.
+        """
+        ckpt = cls(path, meta=meta)
+        p = Path(path)
+        if not p.exists():
+            return ckpt
+        try:
+            data = json.loads(p.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(f"cannot read checkpoint {p}: {exc}") from exc
+        if not isinstance(data, dict) or "version" not in data:
+            raise CheckpointError(f"{p} is not a sweep checkpoint")
+        version = data["version"]
+        if version != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {p} has version {version}; this code understands "
+                f"version {CHECKPOINT_VERSION}"
+            )
+        stored_meta = data.get("meta", {})
+        if meta is not None and stored_meta and stored_meta != dict(meta):
+            diffs = {
+                k: (stored_meta.get(k), dict(meta).get(k))
+                for k in set(stored_meta) | set(dict(meta))
+                if stored_meta.get(k) != dict(meta).get(k)
+            }
+            raise CheckpointError(
+                f"checkpoint {p} was recorded under different sweep parameters: "
+                f"{diffs} (stored, requested)"
+            )
+        ckpt.meta = dict(stored_meta or (meta or {}))
+        cells = data.get("cells", {})
+        if not isinstance(cells, dict):
+            raise CheckpointError(f"checkpoint {p} has a malformed cell table")
+        ckpt.cells = cells
+        return ckpt
+
+    def save(self) -> None:
+        """Atomically rewrite the checkpoint file."""
+        payload = {
+            "version": CHECKPOINT_VERSION,
+            "meta": self.meta,
+            "cells": self.cells,
+        }
+        atomic_write_text(self.path, json.dumps(payload, indent=2, sort_keys=True))
+
+    # -- cell accounting ---------------------------------------------------
+
+    def has(self, algorithm: str, graph: str, trial: int = 0) -> bool:
+        return cell_key(algorithm, graph, trial) in self.cells
+
+    def get(self, algorithm: str, graph: str, trial: int = 0) -> dict:
+        return self.cells[cell_key(algorithm, graph, trial)]
+
+    def record(
+        self, algorithm: str, graph: str, payload: dict, trial: int = 0
+    ) -> None:
+        """Store one completed cell and persist immediately."""
+        self.cells[cell_key(algorithm, graph, trial)] = payload
+        self.save()
+
+    @property
+    def completed(self) -> int:
+        """Number of cells already recorded."""
+        return len(self.cells)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SweepCheckpoint({self.path!s}, cells={self.completed}, "
+            f"meta={self.meta})"
+        )

@@ -101,3 +101,99 @@ class TestCommands:
         code, out = run_cli(capsys, "--scale", "tiny", "figure", "5")
         assert code == 0
         assert "bfsPhase1" in out
+
+
+class TestErrorPaths:
+    """Shell contract: domain errors are one line on stderr, exit 2."""
+
+    def run_cli_full(self, capsys, *argv):
+        code = main(list(argv))
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    def test_unknown_algorithm_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--scale", "tiny", "run", "quantum-CC", "line"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice" in err
+        assert "Traceback" not in err
+
+    def test_unknown_graph_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--scale", "tiny", "run", "serial-SF", "petersen"])
+        assert excinfo.value.code == 2
+
+    def test_repro_error_is_one_line_no_traceback(self, capsys):
+        # --resume without --checkpoint raises a ParameterError inside
+        # the command; main() must turn it into the one-line contract.
+        code, out, err = self.run_cli_full(
+            capsys, "--scale", "tiny", "table2", "--resume"
+        )
+        assert code == 2
+        assert err.startswith("error: ")
+        assert err.count("\n") == 1
+        assert "Traceback" not in err
+
+    def test_checkpoint_meta_mismatch_exits_2(self, capsys, tmp_path):
+        from repro.resilience import SweepCheckpoint
+
+        path = tmp_path / "ckpt.json"
+        SweepCheckpoint(path, meta={"scale": "tiny", "beta": 0.2, "seed": 1}).save()
+        code, out, err = self.run_cli_full(
+            capsys, "--scale", "tiny", "table2",
+            "--checkpoint", str(path), "--resume", "--beta", "0.5",
+        )
+        assert code == 2
+        assert err.startswith("error: ")
+        assert "parameters" in err
+        assert "Traceback" not in err
+
+    def test_bad_fault_spec_exits_2(self, capsys):
+        code, out, err = self.run_cli_full(
+            capsys, "--scale", "tiny", "run", "decomp-arb-CC", "line",
+            "--inject-fault", "warp_core_breach",
+        )
+        assert code == 2
+        assert err.startswith("error: ")
+        assert "warp_core_breach" in err
+
+
+class TestResilienceOptions:
+    def test_run_with_fault_injection_recovers(self, capsys):
+        code, out = run_cli(
+            capsys, "--scale", "tiny", "run", "decomp-arb-CC", "line",
+            "--inject-fault", "cas_flip:p=1.0,max_fires=1000000",
+            "--retries", "2",
+        )
+        assert code == 0
+        assert "attempts   :" in out
+        assert "verified   : OK" in out
+
+    def test_run_reports_retry_on_detected_fault(self, capsys):
+        # line [tiny] is permuted, so hit a random-vertex drop instead
+        # of a targeted one; probability 1 on every round guarantees a
+        # detectable hole on the first (sabotaged) attempt.
+        code, out = run_cli(
+            capsys, "--scale", "tiny", "run", "decomp-arb-CC", "3D-grid",
+            "--inject-fault", "drop_frontier:vertices=10|11|12",
+            "--retries", "2",
+        )
+        assert code == 0
+        assert "verified   : OK" in out
+
+    def test_table2_checkpoint_resume_cycle(self, capsys, tmp_path):
+        path = tmp_path / "sweep.json"
+        code, out = run_cli(
+            capsys, "--scale", "tiny", "table2", "--checkpoint", str(path)
+        )
+        assert code == 0
+        assert path.exists()
+        assert "computed, 0 from checkpoint" in out
+
+        code, out = run_cli(
+            capsys, "--scale", "tiny", "table2",
+            "--checkpoint", str(path), "--resume",
+        )
+        assert code == 0
+        assert "cells      : 0 computed" in out

@@ -119,11 +119,39 @@ class TestIO:
         with pytest.raises(GraphFormatError):
             read_edge_list(path)
 
+    def test_read_malformed_reports_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("# header\n0 1\n1 2\nnot numbers\n3 4\n")
+        with pytest.raises(GraphFormatError) as excinfo:
+            read_edge_list(path)
+        err = excinfo.value
+        assert err.line_number == 4  # 1-based, counting the header
+        assert err.line_text == "not numbers"
+        assert "line 4" in str(err) and "not numbers" in str(err)
+
+    def test_read_missing_column_reports_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1\n2\n3 4\n")
+        with pytest.raises(GraphFormatError) as excinfo:
+            read_edge_list(path)
+        assert excinfo.value.line_number == 2
+        assert excinfo.value.line_text == "2"
+
+    def test_read_negative_id_reports_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1\n-2 3\n")
+        with pytest.raises(GraphFormatError) as excinfo:
+            read_edge_list(path)
+        assert excinfo.value.line_number == 2
+        assert excinfo.value.line_text == "-2 3"
+
     def test_read_wrong_columns_raises(self, tmp_path):
         path = tmp_path / "bad3.txt"
         path.write_text("0 1 2\n3 4 5\n")
-        with pytest.raises(GraphFormatError):
+        with pytest.raises(GraphFormatError) as excinfo:
             read_edge_list(path)
+        assert excinfo.value.line_number == 1
+        assert excinfo.value.line_text == "0 1 2"
 
     def test_read_empty_file(self, tmp_path):
         path = tmp_path / "empty.txt"
@@ -145,3 +173,38 @@ class TestIO:
         np.savez(path, foo=np.arange(3))
         with pytest.raises(GraphFormatError):
             load_npz(path)
+
+    def test_npz_appends_suffix_like_numpy(self, tmp_path):
+        g = random_kregular(30, 3, seed=1)
+        save_npz(g, tmp_path / "noext")
+        assert (tmp_path / "noext.npz").exists()
+        h = load_npz(tmp_path / "noext.npz")
+        assert np.array_equal(g.targets, h.targets)
+
+
+class TestAtomicWrites:
+    def test_writers_leave_no_temp_files(self, tmp_path):
+        g = random_kregular(40, 3, seed=2)
+        write_edge_list(g, tmp_path / "g.txt")
+        save_npz(g, tmp_path / "g.npz")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["g.npz", "g.txt"]
+
+    def test_failed_write_preserves_existing_file(self, tmp_path, monkeypatch):
+        g = random_kregular(40, 3, seed=2)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        before = path.read_bytes()
+
+        # Make the payload write blow up mid-stream (the temp file is
+        # already open and partially written); the destination must
+        # keep its previous contents and the temp must be cleaned.
+        import repro.graphs.io as gio
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("disk on fire")
+
+        monkeypatch.setattr(gio.np, "savetxt", boom)
+        with pytest.raises(RuntimeError):
+            write_edge_list(g, path)
+        assert path.read_bytes() == before
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["g.txt"]

@@ -1,0 +1,151 @@
+"""Tests for atomic sweep checkpoints and kill-and-resume."""
+
+import json
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.graphs import line_graph, random_kregular
+from repro.resilience import (
+    CHECKPOINT_VERSION,
+    ResilientRunner,
+    SweepCheckpoint,
+    cell_key,
+)
+
+
+class TestCellKey:
+    def test_shape(self):
+        assert cell_key("decomp-arb-CC", "line") == "decomp-arb-CC|line|0"
+        assert cell_key("serial-SF", "rMat", trial=2) == "serial-SF|rMat|2"
+
+
+class TestSweepCheckpoint:
+    def test_missing_file_loads_empty(self, tmp_path):
+        ckpt = SweepCheckpoint.load(tmp_path / "none.json")
+        assert ckpt.completed == 0
+
+    def test_record_persists_immediately(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        ckpt = SweepCheckpoint(path, meta={"scale": "tiny"})
+        ckpt.record("serial-SF", "line", {"1": 0.5})
+        assert path.exists()
+        reread = SweepCheckpoint.load(path, meta={"scale": "tiny"})
+        assert reread.has("serial-SF", "line")
+        assert reread.get("serial-SF", "line") == {"1": 0.5}
+        assert not reread.has("serial-SF", "rMat")
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        ckpt = SweepCheckpoint(path)
+        for i in range(3):
+            ckpt.record("serial-SF", f"g{i}", {"1": float(i)})
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["ckpt.json"]
+
+    def test_file_is_versioned_json(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        SweepCheckpoint(path, meta={"beta": 0.2}).record("a", "g", {})
+        data = json.loads(path.read_text())
+        assert data["version"] == CHECKPOINT_VERSION
+        assert data["meta"] == {"beta": 0.2}
+        assert list(data["cells"]) == ["a|g|0"]
+
+    def test_corrupt_json_raises(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text("{truncated")
+        with pytest.raises(CheckpointError, match="cannot read"):
+            SweepCheckpoint.load(path)
+
+    def test_non_checkpoint_json_raises(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text(json.dumps({"cells": {}}))
+        with pytest.raises(CheckpointError, match="not a sweep checkpoint"):
+            SweepCheckpoint.load(path)
+
+    def test_unknown_version_raises(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text(json.dumps({"version": 999, "meta": {}, "cells": {}}))
+        with pytest.raises(CheckpointError, match="version 999"):
+            SweepCheckpoint.load(path)
+
+    def test_meta_mismatch_raises_with_diff(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        SweepCheckpoint(path, meta={"beta": 0.2, "scale": "tiny"}).record(
+            "a", "g", {}
+        )
+        with pytest.raises(CheckpointError, match="beta"):
+            SweepCheckpoint.load(path, meta={"beta": 0.5, "scale": "tiny"})
+
+    def test_meta_match_loads(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        SweepCheckpoint(path, meta={"beta": 0.2}).record("a", "g", {"1": 1.0})
+        ckpt = SweepCheckpoint.load(path, meta={"beta": 0.2})
+        assert ckpt.completed == 1
+
+
+def _small_sweep():
+    return {
+        "line": line_graph(150, seed=1),
+        "random": random_kregular(200, 4, seed=1),
+    }
+
+
+class TestKillAndResume:
+    ALGOS = ["serial-SF", "decomp-arb-CC"]
+
+    def test_interrupted_sweep_resumes_identically(self, tmp_path, monkeypatch):
+        import repro.experiments.harness as harness
+
+        graphs = _small_sweep()
+        # Reference: the sweep no one interrupted.
+        reference = ResilientRunner().run_table2(
+            graphs=graphs, algorithms=self.ALGOS, seed=1
+        )
+
+        # Kill the run after 3 of the 4 cells.
+        path = tmp_path / "sweep.json"
+        meta = {"seed": 1}
+        real_profile_run = harness.profile_run
+        calls = {"n": 0}
+
+        def dying_profile_run(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] > 3:
+                raise KeyboardInterrupt
+            return real_profile_run(*args, **kwargs)
+
+        monkeypatch.setattr(harness, "profile_run", dying_profile_run)
+        killed = ResilientRunner(checkpoint=SweepCheckpoint(path, meta=meta))
+        with pytest.raises(KeyboardInterrupt):
+            killed.run_table2(graphs=graphs, algorithms=self.ALGOS, seed=1)
+        assert killed.cells_computed == 3
+        monkeypatch.setattr(harness, "profile_run", real_profile_run)
+
+        # Resume: only the missing cell is recomputed...
+        resumed_runner = ResilientRunner(
+            checkpoint=SweepCheckpoint.load(path, meta=meta)
+        )
+        resumed = resumed_runner.run_table2(
+            graphs=graphs, algorithms=self.ALGOS, seed=1
+        )
+        assert resumed_runner.cells_computed == 1
+
+        # ...and every deterministic field matches the uninterrupted
+        # run exactly (wall clock is the one nondeterministic extra).
+        for algo in self.ALGOS:
+            for gname in graphs:
+                got = resumed["table"][algo][gname]
+                want = reference["table"][algo][gname]
+                for field in ("1", "40h", "components", "attempts", "algorithm"):
+                    assert got[field] == want[field], (algo, gname, field)
+
+    def test_resume_with_complete_checkpoint_computes_nothing(self, tmp_path):
+        graphs = _small_sweep()
+        path = tmp_path / "sweep.json"
+        first = ResilientRunner(checkpoint=SweepCheckpoint(path))
+        first.run_table2(graphs=graphs, algorithms=self.ALGOS, seed=1)
+        assert first.cells_computed == 4
+
+        second = ResilientRunner(checkpoint=SweepCheckpoint.load(path))
+        second.run_table2(graphs=graphs, algorithms=self.ALGOS, seed=1)
+        assert second.cells_computed == 0
