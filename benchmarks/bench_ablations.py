@@ -18,11 +18,10 @@ paper makes in prose:
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import emit
 from repro.connectivity import decomp_cc
-from repro.decomp import decomp_arb, decomp_arb_hybrid, decomp_min
+from repro.decomp import decomp_arb, decomp_min
 from repro.experiments import profile_run
 from repro.pram import PAPER_MACHINE, tracking
 
@@ -109,7 +108,9 @@ def test_ablation_approximate_compaction(benchmark, suite):
 
     flags = np.ones(1 << 18, dtype=bool)
     with tracking() as exact:
-        benchmark.pedantic(lambda: [pack_index(flags) for _ in range(50)], rounds=1, iterations=1)
+        benchmark.pedantic(
+            lambda: [pack_index(flags) for _ in range(50)], rounds=1, iterations=1
+        )
     with tracking() as approx:
         for _ in range(50):
             pack_index(flags, approximate=True)
@@ -126,7 +127,9 @@ def test_ablation_pair_layout_traffic(benchmark, suite):
     visit; quantify its gather overhead over decomp-arb."""
     graph = suite["random"]
     with tracking() as t_min:
-        benchmark.pedantic(lambda: decomp_min(graph, beta=0.2, seed=1), rounds=1, iterations=1)
+        benchmark.pedantic(
+            lambda: decomp_min(graph, beta=0.2, seed=1), rounds=1, iterations=1
+        )
     with tracking() as t_arb:
         decomp_arb(graph, beta=0.2, seed=1)
     g_min = t_min.work_by_kind()["gather"]

@@ -10,8 +10,6 @@
   across the input suite at the default beta.
 """
 
-import numpy as np
-import pytest
 
 from benchmarks.conftest import emit
 from repro.connectivity import (

@@ -15,7 +15,6 @@ import pytest
 
 from benchmarks.conftest import emit
 from repro.experiments import ascii_series, fig4_edges_remaining
-from repro.experiments.figures import FIG4_BETAS, FIG4_BETAS_LINE
 
 PANELS = ["random", "rMat", "3D-grid", "line"]
 

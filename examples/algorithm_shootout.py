@@ -40,7 +40,8 @@ ORDER = [
 def main() -> None:
     for gname, graph in GRAPHS.items():
         print(f"\n=== {gname}: {graph}")
-        print(f"{'implementation':<22} {'T(1) ms':>10} {'T(40h) ms':>10} {'speedup':>8}")
+        hdr = f"{'implementation':<22} {'T(1) ms':>10} {'T(40h) ms':>10} {'speedup':>8}"
+        print(hdr)
         rows = []
         for algo in ORDER:
             kwargs = {"beta": 0.2, "seed": 1} if algo.startswith("decomp-") else {}

@@ -16,21 +16,35 @@ paper's hybrid variants win on dense frontiers.
 
 Our graphs are symmetric, so in-neighbors == out-neighbors and one CSR
 serves both directions (as in the paper's storage scheme).
+
+As an engine configuration:
+:class:`~repro.engine.state.BFSTreeState` (with the visited bitmap the
+pull kernel needs) under the paper's
+:class:`~repro.engine.direction.FractionHybrid` rule — or pinned
+:class:`~repro.engine.direction.AlwaysPush` /
+:class:`~repro.engine.direction.AlwaysPull` when a direction is forced.
+The read-based sweep itself is
+:func:`repro.engine.kernels.bottom_up_step` (re-exported here under
+its historical name).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
-import numpy as np
-
-from repro.bfs.frontier import DENSE_THRESHOLD, Frontier
-from repro.bfs.parallel_bfs import UNVISITED, BFSResult
+from repro.bfs.parallel_bfs import BFSResult
+from repro.engine.core import TraversalEngine
+from repro.engine.direction import (
+    AlwaysPull,
+    AlwaysPush,
+    DirectionPolicy,
+    FractionHybrid,
+)
+from repro.engine.frontier import DENSE_THRESHOLD
+from repro.engine.kernels import bottom_up_step  # noqa: F401  (historical re-export)
+from repro.engine.state import BFSTreeState
 from repro.graphs.csr import CSRGraph
-from repro.pram.cost import current_tracker
-from repro.primitives.atomics import first_winner
-from repro.primitives.pack import pack_index
 
 __all__ = ["hybrid_bfs", "bottom_up_step", "HybridBFSResult"]
 
@@ -42,62 +56,12 @@ class HybridBFSResult(BFSResult):
     directions: List[str] = field(default_factory=list)
 
 
-def bottom_up_step(
-    graph: CSRGraph,
-    frontier_bitmap: np.ndarray,
-    visited: np.ndarray,
-) -> Tuple[np.ndarray, np.ndarray, int]:
-    """One read-based (bottom-up) BFS round.
-
-    Every unvisited vertex scans its neighbors in adjacency order and
-    adopts the first one lying on the current frontier.  Returns
-    ``(new_vertices, their_parents, edges_examined)`` where
-    *edges_examined* counts edge inspections up to each early exit —
-    the quantity the cost model charges.
-    """
-    tracker = current_tracker()
-    unvisited = pack_index(~visited)
-    if unvisited.size == 0:
-        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64), 0
-    # charge_cost=False: only the early-exit edge count below is charged.
-    src, dst = graph.expand(unvisited, charge_cost=False)
-    hit = frontier_bitmap[dst]
-    # First frontier-neighbor per source, exploiting expand()'s grouped,
-    # adjacency-ordered layout: the first occurrence of each source
-    # among the hits is its earliest hit.
-    hit_positions = np.flatnonzero(hit)
-    first_pos, winners = first_winner(src[hit_positions]) if hit_positions.size else (
-        np.zeros(0, dtype=np.int64),
-        np.zeros(0, dtype=np.int64),
-    )
-    parent_of_winner = dst[hit_positions[first_pos]] if hit_positions.size else (
-        np.zeros(0, dtype=np.int64)
-    )
-
-    # Early-exit cost: edges scanned = (position of first hit within the
-    # source's slice) + 1, or the full degree when there is no hit.
-    counts = graph.offsets[unvisited + 1] - graph.offsets[unvisited]
-    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
-    scanned = counts.astype(np.float64)
-    if winners.size:
-        # Map winner vertex id -> its index within `unvisited` to find
-        # the slice start of each winner.
-        order = np.searchsorted(unvisited, winners)
-        local_first = hit_positions[first_pos] - starts[order]
-        scanned_winners = (local_first + 1).astype(np.float64)
-        scanned[order] = scanned_winners
-    edges_examined = int(scanned.sum())
-    # Streaming reads, no atomics: the dense sweep's cache-friendliness.
-    tracker.add("scan", work=float(edges_examined + unvisited.size), depth=1.0)
-    tracker.add("scatter", work=float(winners.size), depth=1.0)
-    return winners, parent_of_winner, edges_examined
-
-
 def hybrid_bfs(
     graph: CSRGraph,
     source: int,
     dense_threshold: float = DENSE_THRESHOLD,
     force_direction: Optional[str] = None,
+    round_budget=None,
 ) -> HybridBFSResult:
     """Direction-optimizing BFS from *source*.
 
@@ -109,57 +73,27 @@ def hybrid_bfs(
     force_direction:
         ``"top-down"`` or ``"bottom-up"`` pins every round to one
         direction (ablation support); default adaptive.
+    round_budget:
+        Optional :class:`~repro.resilience.policy.RoundBudget` bounding
+        the rounds.
     """
-    n = graph.num_vertices
-    if not 0 <= source < n:
-        raise ValueError(f"source {source} out of range [0, {n})")
     if force_direction not in (None, "top-down", "bottom-up"):
         raise ValueError(f"bad force_direction {force_direction!r}")
-    tracker = current_tracker()
-    parents = np.full(n, UNVISITED, dtype=np.int64)
-    distances = np.full(n, UNVISITED, dtype=np.int64)
-    visited = np.zeros(n, dtype=bool)
-    tracker.add("alloc", work=float(3 * n), depth=1.0)
-
-    distances[source] = 0
-    visited[source] = True
-    frontier = Frontier.from_vertices(n, np.array([source], dtype=np.int64))
-    num_visited = 1
-    rounds = 0
-    directions: List[str] = []
-    while not frontier.is_empty:
-        rounds += 1
-        if force_direction is not None:
-            go_dense = force_direction == "bottom-up"
-        else:
-            # The paper's rule: read-based when the frontier holds more
-            # than 20% of the vertices (and someone is left to pull).
-            go_dense = num_visited < n and frontier.should_go_dense(
-                n, dense_threshold
-            )
-        if go_dense:
-            directions.append("bottom-up")
-            winners, parent_of, _ = bottom_up_step(
-                graph, frontier.as_bitmap(), visited
-            )
-            parents[winners] = parent_of
-        else:
-            directions.append("top-down")
-            src, dst = graph.expand(frontier.as_vertices())
-            fresh = ~visited[dst]
-            tracker.add("gather", work=float(dst.size), depth=1.0)
-            win_pos, winners = first_winner(dst[fresh])
-            parents[winners] = src[fresh][win_pos]
-            tracker.add("scatter", work=float(winners.size), depth=1.0)
-        visited[winners] = True
-        distances[winners] = rounds
-        num_visited += int(winners.size)
-        tracker.sync()
-        frontier = Frontier.from_vertices(n, winners)
+    direction: DirectionPolicy
+    if force_direction == "top-down":
+        direction = AlwaysPush()
+    elif force_direction == "bottom-up":
+        direction = AlwaysPull()
+    else:
+        direction = FractionHybrid(threshold=dense_threshold)
+    state = BFSTreeState(
+        graph, source, track_visited=True, budget=round_budget
+    )
+    TraversalEngine(state, direction=direction).run()
     return HybridBFSResult(
-        parents=parents,
-        distances=distances,
-        num_rounds=rounds,
-        num_visited=num_visited,
-        directions=directions,
+        parents=state.parents,
+        distances=state.distances,
+        num_rounds=state.round,
+        num_visited=state.num_visited,
+        directions=state.directions,
     )

@@ -7,6 +7,11 @@ arbitrary-CRCW write (a CAS race in the real implementation), and packs
 the winners into the next frontier.  O(n + m) work; depth = (graph
 eccentricity) * O(log n) for the per-round packing.
 
+As an engine configuration:
+:class:`~repro.engine.state.BFSTreeState` (without the visited bitmap —
+visitedness is tested against ``distances``, saving one array, as the
+pre-engine implementation did) driven push-only.
+
 Used directly by :mod:`repro.connectivity.hybrid_bfs_cc` (as the
 top-down half) and by tests as a distance oracle.
 """
@@ -14,17 +19,15 @@ top-down half) and by tests as a distance oracle.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
+from repro.engine.core import UNVISITED, TraversalEngine  # noqa: F401  (re-export)
+from repro.engine.direction import AlwaysPush
+from repro.engine.state import BFSTreeState
 from repro.graphs.csr import CSRGraph
-from repro.pram.cost import current_tracker
-from repro.primitives.atomics import first_winner
 
 __all__ = ["BFSResult", "parallel_bfs"]
-
-UNVISITED = np.int64(-1)
 
 
 @dataclass
@@ -51,42 +54,22 @@ class BFSResult:
     num_visited: int
 
 
-def parallel_bfs(graph: CSRGraph, source: int) -> BFSResult:
+def parallel_bfs(graph: CSRGraph, source: int, round_budget=None) -> BFSResult:
     """Level-synchronous BFS from *source*.
 
     Each round is one synchronous PRAM step batch: expand, resolve the
     CAS races on unvisited targets (arbitrary winner), pack the next
-    frontier.  Work O(n + m); depth O(ecc * log n).
+    frontier.  Work O(n + m); depth O(ecc * log n).  ``round_budget``
+    optionally bounds the rounds
+    (:class:`~repro.resilience.policy.RoundBudget`).
     """
-    n = graph.num_vertices
-    if not 0 <= source < n:
-        raise ValueError(f"source {source} out of range [0, {n})")
-    tracker = current_tracker()
-    parents = np.full(n, UNVISITED, dtype=np.int64)
-    distances = np.full(n, UNVISITED, dtype=np.int64)
-    tracker.add("alloc", work=float(2 * n), depth=1.0)
-
-    distances[source] = 0
-    frontier = np.array([source], dtype=np.int64)
-    num_visited = 1
-    rounds = 0
-    while frontier.size:
-        rounds += 1
-        src, dst = graph.expand(frontier)
-        unvisited = distances[dst] == UNVISITED
-        tracker.add("gather", work=float(dst.size), depth=1.0)
-        src, dst = src[unvisited], dst[unvisited]
-        # CAS race: one arbitrary winner per newly discovered vertex.
-        win_pos, winners = first_winner(dst)
-        parents[winners] = src[win_pos]
-        distances[winners] = rounds
-        tracker.add("scatter", work=float(winners.size), depth=1.0)
-        tracker.sync()  # end-of-round barrier (frontier packing)
-        frontier = winners
-        num_visited += int(winners.size)
+    state = BFSTreeState(
+        graph, source, track_visited=False, budget=round_budget
+    )
+    TraversalEngine(state, direction=AlwaysPush()).run()
     return BFSResult(
-        parents=parents,
-        distances=distances,
-        num_rounds=rounds,
-        num_visited=num_visited,
+        parents=state.parents,
+        distances=state.distances,
+        num_rounds=state.round,
+        num_visited=state.num_visited,
     )

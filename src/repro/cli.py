@@ -39,7 +39,6 @@ from repro.experiments import (
     PAPER_GRAPH_ORDER,
     ascii_series,
     build_graph,
-    build_suite,
     fig2_thread_sweep,
     fig3_beta_sweep,
     fig4_edges_remaining,
@@ -93,7 +92,11 @@ def build_parser() -> argparse.ArgumentParser:
     dec = sub.add_parser("decompose", help="low-diameter decomposition quality")
     dec.add_argument("graph", choices=sorted(GRAPHS))
     dec.add_argument("--beta", type=float, default=0.2)
-    dec.add_argument("--variant", choices=["min", "arb", "arb-hybrid"], default="arb")
+    dec.add_argument(
+        "--variant",
+        choices=["min", "arb", "arb-hybrid", "min-hybrid"],
+        default="arb",
+    )
     dec.add_argument("--seed", type=int, default=1)
 
     forest = sub.add_parser("forest", help="spanning forest via decomposition")
@@ -315,7 +318,11 @@ def _cmd_figure(args) -> int:
     elif n == 4:
         graph = build_graph(args.graph, args.scale)
         series = fig4_edges_remaining(graph, args.graph)
-        print(ascii_series({f"beta={b}": dict(enumerate(v)) for b, v in series.items()}))
+        print(
+            ascii_series(
+                {f"beta={b}": dict(enumerate(v)) for b, v in series.items()}
+            )
+        )
     elif n == 5:
         print(ascii_series(fig5_breakdown_min(scale=args.scale)))
     elif n == 6:

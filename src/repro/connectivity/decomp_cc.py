@@ -19,7 +19,7 @@ access to the per-iteration edge counts (Figure 4 series).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List
 
 import numpy as np
 

@@ -14,6 +14,13 @@ The implementation shares one labels array across all the BFS runs
 the dense switch against the whole vertex set, exactly as a
 Ligra-style code would: small components never trigger the bottom-up
 sweep, big ones do.
+
+As an engine configuration each per-component BFS is a
+:class:`~repro.engine.state.ComponentLabelState` under Ligra's
+edge-count direction rule
+(:class:`~repro.engine.direction.LigraEdgeHybrid`).  The outer
+next-source loop is a sequential cursor, not a level-synchronous
+frontier loop, so it stays here.
 """
 
 from __future__ import annotations
@@ -22,16 +29,19 @@ from typing import List
 
 import numpy as np
 
-from repro.bfs.frontier import DENSE_THRESHOLD
-from repro.bfs.hybrid_bfs import bottom_up_step
 from repro.connectivity.base import ConnectivityResult
+from repro.engine.core import UNVISITED, TraversalEngine
+from repro.engine.direction import LigraEdgeHybrid
+from repro.engine.frontier import DENSE_THRESHOLD
+from repro.engine.state import ComponentLabelState
 from repro.graphs.csr import CSRGraph
 from repro.pram.cost import current_tracker
-from repro.primitives.atomics import first_winner
 
 __all__ = ["hybrid_bfs_cc", "bfs_from_source"]
 
-_UNLABELED = np.int64(-1)
+#: Historical alias for the shared sentinel (see
+#: :data:`repro.engine.core.UNVISITED`).
+_UNLABELED = UNVISITED
 
 
 def bfs_from_source(
@@ -46,39 +56,11 @@ def bfs_from_source(
     Mutates *labels* (entries must be ``-1`` where unvisited); returns
     the number of vertices labeled, including the source.
     """
-    tracker = current_tracker()
-    n = graph.num_vertices
-    labels[source] = label
-    frontier = np.array([source], dtype=np.int64)
-    count = 1
-    # Ligra's direction rule: go bottom-up when the frontier's outgoing
-    # edges (plus its vertices) exceed (m + n)/20 at the default
-    # dense_threshold of 0.20 — an edge-count heuristic, so a handful of
-    # hub vertices can already flip a dense graph to the read-based
-    # sweep (the rMat2/com-Orkut regime).
-    switch_budget = (graph.num_directed + n) * dense_threshold / 4.0
-    while frontier.size:
-        frontier_edges = int(
-            (graph.offsets[frontier + 1] - graph.offsets[frontier]).sum()
-        )
-        tracker.add("scan", work=float(frontier.size), depth=1.0)
-        if frontier_edges + frontier.size > switch_budget:
-            visited = labels != _UNLABELED
-            tracker.add("scan", work=float(n), depth=1.0)
-            bitmap = np.zeros(n, dtype=bool)
-            bitmap[frontier] = True
-            winners, _parents, _examined = bottom_up_step(graph, bitmap, visited)
-        else:
-            src, dst = graph.expand(frontier)
-            fresh = labels[dst] == _UNLABELED
-            tracker.add("gather", work=float(dst.size), depth=1.0)
-            _pos, winners = first_winner(dst[fresh])
-        labels[winners] = label
-        tracker.add("scatter", work=float(winners.size), depth=1.0)
-        tracker.sync()
-        count += int(winners.size)
-        frontier = winners
-    return count
+    state = ComponentLabelState(graph, source, labels, label)
+    TraversalEngine(
+        state, direction=LigraEdgeHybrid(graph, threshold=dense_threshold)
+    ).run()
+    return state.count
 
 
 def hybrid_bfs_cc(

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
-import numpy as np
 
 from repro.connectivity.base import ConnectivityResult
 from repro.connectivity.union_find import UnionFind

@@ -26,12 +26,14 @@ w.h.p.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
 from repro.connectivity.union_find import UnionFind
 from repro.decomp import DECOMP_VARIANTS, contract
+from repro.engine.core import TraversalEngine, TraversalState, end_round
+from repro.engine.direction import AlwaysPush
 from repro.errors import ParameterError, VerificationError
 from repro.graphs.csr import CSRGraph
 from repro.pram.cost import current_tracker
@@ -39,6 +41,63 @@ from repro.pram.cost import current_tracker
 __all__ = ["decomp_spanning_forest", "partition_parents", "verify_spanning_forest"]
 
 _MAX_LEVELS = 200
+
+
+class _PartitionParentState(TraversalState):
+    """Multi-source same-label BFS rebuilding per-partition parent trees.
+
+    Push-only: every center starts reached, and a round claims the
+    unreached same-label neighbors of the frontier with an arbitrary
+    first-winner rule (which neighbor wins parenthood is immaterial —
+    any intra-partition BFS tree from the same roots is valid).
+    """
+
+    def __init__(self, graph: CSRGraph, labels: np.ndarray) -> None:
+        self.graph = graph
+        self.labels = labels
+        self.n = graph.num_vertices
+        self.parents = np.full(self.n, -1, dtype=np.int64)
+        self.reached = np.zeros(self.n, dtype=bool)
+        self._frontier = np.zeros(0, dtype=np.int64)
+
+    @property
+    def frontier(self) -> np.ndarray:
+        return self._frontier
+
+    @property
+    def done(self) -> bool:
+        return self._frontier.size == 0
+
+    @property
+    def visited_count(self) -> int:
+        return int(self.reached.sum())
+
+    def initial_frontier(self) -> np.ndarray:
+        centers = np.unique(self.labels)
+        self.reached[centers] = True
+        current_tracker().add("scatter", work=float(centers.size), depth=1.0)
+        return centers
+
+    def begin_round(self, engine, next_frontier: np.ndarray) -> None:
+        self._frontier = next_frontier
+
+    def push_round(self, engine) -> np.ndarray:
+        src, dst = self.graph.expand(self._frontier)
+        same = self.labels[src] == self.labels[dst]
+        fresh = same & ~self.reached[dst]
+        current_tracker().add("gather", work=float(2 * dst.size), depth=1.0)
+        if not fresh.any():
+            # dead frontier: no claim and no barrier, the engine's next
+            # begin_round sees the empty frontier and stops
+            return np.zeros(0, dtype=np.int64)
+        # arbitrary-CRCW: first claimer per target wins parenthood
+        fresh_pos = np.flatnonzero(fresh)
+        targets, first = np.unique(dst[fresh_pos], return_index=True)
+        self.parents[targets] = src[fresh_pos[first]]
+        self.reached[targets] = True
+        current_tracker().add("atomic", work=float(fresh_pos.size), depth=1.0)
+        end_round(packing="unit")
+        return targets
 
 
 def partition_parents(graph: CSRGraph, labels: np.ndarray) -> np.ndarray:
@@ -51,32 +110,11 @@ def partition_parents(graph: CSRGraph, labels: np.ndarray) -> np.ndarray:
     needs *a* spanning tree per partition.
     """
     labels = np.asarray(labels)
-    n = graph.num_vertices
-    parents = np.full(n, -1, dtype=np.int64)
-    if n == 0:
-        return parents
-    tracker = current_tracker()
-    reached = np.zeros(n, dtype=bool)
-    centers = np.unique(labels)
-    reached[centers] = True
-    tracker.add("scatter", work=float(centers.size), depth=1.0)
-    frontier = centers
-    while frontier.size:
-        src, dst = graph.expand(frontier)
-        same = labels[src] == labels[dst]
-        fresh = same & ~reached[dst]
-        tracker.add("gather", work=float(2 * dst.size), depth=1.0)
-        if not fresh.any():
-            break
-        # arbitrary-CRCW: first claimer per target wins parenthood
-        fresh_pos = np.flatnonzero(fresh)
-        targets, first = np.unique(dst[fresh_pos], return_index=True)
-        parents[targets] = src[fresh_pos[first]]
-        reached[targets] = True
-        tracker.add("atomic", work=float(fresh_pos.size), depth=1.0)
-        tracker.sync()
-        frontier = targets
-    return parents
+    if graph.num_vertices == 0:
+        return np.full(0, -1, dtype=np.int64)
+    state = _PartitionParentState(graph, labels)
+    TraversalEngine(state, direction=AlwaysPush()).run()
+    return state.parents
 
 
 def decomp_spanning_forest(

@@ -20,7 +20,7 @@ sequential baseline honest.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

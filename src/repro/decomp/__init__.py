@@ -1,6 +1,7 @@
 """Low-diameter graph decomposition (Miller-Peng-Xu) — the paper's core.
 
-Three implementations with identical interfaces:
+Four implementations with identical interfaces, each a tie-break x
+direction configuration of the shared :mod:`repro.engine` round loop:
 
 * :func:`~repro.decomp.decomp_min.decomp_min` — Algorithm 2, the
   faithful writeMin rule (beta*m inter-edge bound, two phases/round);
@@ -8,7 +9,9 @@ Three implementations with identical interfaces:
   tie-breaking (2*beta*m bound, one phase/round) — the paper's
   contribution;
 * :func:`~repro.decomp.decomp_arb_hybrid.decomp_arb_hybrid` —
-  Decomp-Arb with direction-optimizing dense rounds + filterEdges.
+  Decomp-Arb with direction-optimizing dense rounds + filterEdges;
+* :func:`~repro.decomp.decomp_min_hybrid.decomp_min_hybrid` — the
+  remaining combination: writeMin sparse rounds, read-based dense ones.
 
 Plus :func:`~repro.decomp.contract.contract` (partition contraction)
 and the shift-schedule machinery in :mod:`repro.decomp.shifts`.
@@ -19,6 +22,7 @@ from repro.decomp.contract import Contraction, contract
 from repro.decomp.decomp_arb import decomp_arb
 from repro.decomp.decomp_arb_hybrid import decomp_arb_hybrid
 from repro.decomp.decomp_min import decomp_min
+from repro.decomp.decomp_min_hybrid import decomp_min_hybrid
 from repro.decomp.shifts import FRAC_BITS, ShiftSchedule
 
 __all__ = [
@@ -33,6 +37,7 @@ __all__ = [
     "decomp_arb",
     "decomp_arb_hybrid",
     "decomp_min",
+    "decomp_min_hybrid",
     "low_diameter_decomposition",
 ]
 
@@ -41,6 +46,7 @@ DECOMP_VARIANTS = {
     "min": decomp_min,
     "arb": decomp_arb,
     "arb-hybrid": decomp_arb_hybrid,
+    "min-hybrid": decomp_min_hybrid,
 }
 
 # The facade imports DECOMP_VARIANTS, so it loads after the registry.

@@ -8,27 +8,41 @@ phase never revisits the original edge array), and per-round statistics
 that feed the analysis module and Figures 4-7.
 
 The helpers here implement the parts all variants share verbatim:
-consuming the shift schedule ("bfsPre" — new centers are appended to
-the single shared frontier array) and assembling the result.
+parameter validation, consuming the shift schedule ("bfsPre" — new
+centers are appended to the single shared frontier array) and
+assembling the result.  :class:`DecompState` is the decomposition
+family's :class:`~repro.engine.core.TraversalState`: the variant
+modules configure a :class:`~repro.engine.core.TraversalEngine` around
+it and the engine drives the rounds.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 
 from repro.decomp.shifts import ShiftSchedule
+from repro.engine.core import UNVISITED, TraversalEngine, TraversalState, end_round
+from repro.engine.kernels import dense_round, filter_edges
 from repro.errors import ParameterError
 from repro.graphs.csr import CSRGraph
-from repro.pram.cost import CostTracker, current_tracker
+from repro.pram.cost import current_tracker
 from repro.resilience.faults import active_fault_plan
 from repro.resilience.policy import RoundBudget
 
-__all__ = ["Decomposition", "DecompState", "UNVISITED"]
+__all__ = ["Decomposition", "DecompState", "UNVISITED", "validate_beta"]
 
-UNVISITED = np.int64(-1)
+
+def validate_beta(beta: float) -> None:
+    """Reject out-of-range decomposition parameters (shared by all variants).
+
+    The paper's analysis needs ``0 < beta < 1``: beta = 0 never starts
+    new centers, beta >= 1 starts everything at once.
+    """
+    if not 0.0 < beta < 1.0:
+        raise ParameterError(f"beta must be in (0,1), got {beta}")
 
 
 @dataclass
@@ -92,12 +106,17 @@ class Decomposition:
         ]
 
 
-class DecompState:
+class DecompState(TraversalState):
     """Mutable per-run state shared by the decomposition main loops.
 
     Owns the component array ``C`` (the paper's C / C2), the schedule,
-    the shared frontier, and the growing inter-edge output lists; the
-    variant modules drive it round by round.
+    the shared frontier, and the growing inter-edge output lists.  As a
+    :class:`~repro.engine.core.TraversalState` it plugs into the
+    :class:`~repro.engine.core.TraversalEngine`: ``begin_round`` is the
+    center-seeding / resilience boundary (:meth:`start_new_centers`),
+    ``push_round`` delegates to the configured tie-break policy, and
+    ``pull_round`` is the read-based sweep whose inspected edges are
+    deferred to the ``filterEdges`` pass in :meth:`finalize`.
     """
 
     def __init__(
@@ -120,7 +139,9 @@ class DecompState:
         )
         tracker = current_tracker()
         with tracker.phase("init"):
-            self.schedule = ShiftSchedule(n=n, beta=beta, seed=seed, mode=mode)  # type: ignore[arg-type]
+            self.schedule = ShiftSchedule(
+                n=n, beta=beta, seed=seed, mode=mode  # type: ignore[arg-type]
+            )
             self.C = np.full(n, UNVISITED, dtype=np.int64)
             tracker.add("alloc", work=float(n), depth=1.0)
         self.frontier = np.zeros(0, dtype=np.int64)
@@ -134,15 +155,48 @@ class DecompState:
         self.frontier_sizes: List[int] = []
         self.edges_inspected = 0
         self.dense_rounds: List[int] = []
+        #: Frontiers of the read-based rounds, whose out-edges await
+        #: the post-loop filterEdges classification.
+        self.deferred: List[np.ndarray] = []
 
     @property
     def n(self) -> int:
         return self.graph.num_vertices
 
     @property
+    def visited_count(self) -> int:
+        """Vertices owned by some component so far (engine interface)."""
+        return self.visited
+
+    @property
     def done(self) -> bool:
         """All vertices visited and all frontier work drained."""
         return self.visited >= self.n and self.frontier.size == 0
+
+    # -- engine interface ---------------------------------------------------
+
+    def initial_frontier(self) -> np.ndarray:
+        return np.zeros(0, dtype=np.int64)
+
+    def begin_round(self, engine: TraversalEngine, next_frontier: np.ndarray) -> None:
+        self.start_new_centers(next_frontier)
+
+    def note_dense_round(self) -> None:
+        self.dense_rounds.append(self.round)
+        self.deferred.append(self.frontier)
+
+    def push_round(self, engine: TraversalEngine) -> np.ndarray:
+        return engine.tiebreak.push_round(self, engine)
+
+    def pull_round(self, engine: TraversalEngine) -> np.ndarray:
+        with current_tracker().phase("bfsDense"):
+            return dense_round(self)
+
+    def finalize(self, engine: TraversalEngine) -> None:
+        # A no-op (and charge-free) pass for push-only runs; for the
+        # hybrids it classifies every edge the dense rounds skipped.
+        with current_tracker().phase("filterEdges"):
+            filter_edges(self, self.deferred)
 
     def start_new_centers(self, next_frontier: np.ndarray) -> None:
         """The "bfsPre" step: pull due candidates, start the unvisited ones.
@@ -181,7 +235,7 @@ class DecompState:
                 plan.corrupt_labels(self.C, self.round, int(UNVISITED))
             self.frontier = frontier
             self.frontier_sizes.append(int(self.frontier.size))
-            tracker.sync()
+            end_round(packing="unit")
 
     def keep_inter(
         self,

@@ -21,7 +21,6 @@ on the contracted graph back down to the original vertices.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -32,7 +31,6 @@ from repro.graphs.csr import CSRGraph
 from repro.pram.cost import current_tracker
 from repro.primitives.hashing import HashTable
 from repro.primitives.scan import exclusive_scan
-from repro.primitives.sort import radix_argsort
 
 __all__ = ["Contraction", "contract"]
 

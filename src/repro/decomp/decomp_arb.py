@@ -10,82 +10,34 @@ pass over the frontier's edges per round and one machine word of state
 per vertex, instead of Decomp-Min's two synchronized passes over a
 (delta', component) pair.
 
-Vectorized round semantics (one CRCW PRAM step batch):
+As an engine configuration this variant is::
 
-1. ``bfsPre`` — start due centers (``C[v] = v``), append to frontier.
-2. ``bfsMain`` — expand frontier edges once:
-   * unvisited targets: resolve the CAS race (first winner — one legal
-     arbitrary schedule); winners form the next frontier, their
-     claiming edges are intra-component and deleted;
-   * every other edge (losers included, since the winner's label is
-     visible the moment the CAS fails): inter-component iff the
-     endpoint labels differ; survivors are recorded as
-     ``(C[u], C[w])`` pairs — target already relabeled on the fly, as
-     the paper does with the sign-bit trick.
+    tie-break = arb (CAS race), direction = always-push
+
+The round kernel itself lives in :func:`repro.engine.kernels.arb_round`
+(re-exported here under its historical name); see that docstring for
+the vectorized CRCW round semantics.
 """
 
 from __future__ import annotations
 
-import math
-
-import numpy as np
-
-from repro.decomp.base import UNVISITED, Decomposition, DecompState
-from repro.errors import ParameterError
+from repro.decomp.base import (
+    UNVISITED,  # noqa: F401  (historical re-export)
+    Decomposition,
+    DecompState,
+    validate_beta,
+)
+from repro.engine.core import TraversalEngine
+from repro.engine.direction import AlwaysPush
+from repro.engine.kernels import arb_round  # noqa: F401  (historical re-export)
+from repro.engine.tiebreak import ArbTiebreak
 from repro.graphs.csr import CSRGraph
-from repro.pram.cost import current_tracker
-from repro.primitives.atomics import first_winner
 
 __all__ = ["decomp_arb"]
 
-
-def _validate_beta(beta: float) -> None:
-    if not 0.0 < beta < 1.0:
-        raise ParameterError(f"beta must be in (0,1), got {beta}")
-
-
-def arb_round(state: DecompState) -> np.ndarray:
-    """One Decomp-Arb BFS round over the current frontier.
-
-    Returns the next frontier (this round's CAS winners).  Mutates
-    ``state.C`` and appends surviving inter-edges.
-    """
-    tracker = current_tracker()
-    graph, C = state.graph, state.C
-    src, dst = graph.expand(state.frontier)
-    state.edges_inspected += int(src.size)
-    if src.size == 0:
-        tracker.sync()
-        return np.zeros(0, dtype=np.int64)
-    cu = C[src]
-    cw = C[dst]
-    tracker.add("gather", work=float(2 * src.size), depth=1.0)
-
-    # CAS races on unvisited targets: one arbitrary winner each.
-    unvis = cw == UNVISITED
-    unvis_pos = np.flatnonzero(unvis)
-    win_local, winners = first_winner(dst[unvis_pos])
-    win_pos = unvis_pos[win_local]
-    C[winners] = cu[win_pos]
-    tracker.add("scatter", work=float(winners.size), depth=1.0)
-    state.visited += int(winners.size)
-
-    # All non-winning edges can be classified immediately: the winner's
-    # component id is visible to the losers of the race (Algorithm 3
-    # lines 16-19), and previously visited targets carry their label.
-    is_winner_edge = np.zeros(src.size, dtype=bool)
-    is_winner_edge[win_pos] = True
-    rest = ~is_winner_edge
-    cw_now = C[dst[rest]]
-    cu_rest = cu[rest]
-    tracker.add("gather", work=float(cu_rest.size), depth=1.0)
-    inter = cw_now != cu_rest
-    state.keep_inter(
-        cu_rest[inter], cw_now[inter], src[rest][inter], dst[rest][inter]
-    )
-    # End-of-round packing of kept edges / next frontier: O(log n) depth.
-    tracker.sync(depth=float(max(1, math.ceil(math.log2(src.size + 1)))))
-    return winners
+#: Historical alias; the shared validator lives in
+#: :func:`repro.decomp.base.validate_beta`.
+_validate_beta = validate_beta
 
 
 def decomp_arb(
@@ -114,18 +66,15 @@ def decomp_arb(
 
     Complexity: O(m) expected work, O(log^2 n / beta) depth w.h.p.
     """
-    _validate_beta(beta)
+    validate_beta(beta)
     state = DecompState(
         graph, beta, seed, schedule_mode,
         budget=round_budget, algorithm="decomp-arb",
     )
-    tracker = current_tracker()
-    next_frontier = np.zeros(0, dtype=np.int64)
-    while True:
-        state.start_new_centers(next_frontier)
-        if state.done:
-            break
-        with tracker.phase("bfsMain"):
-            next_frontier = arb_round(state)
-        state.round += 1
+    engine = TraversalEngine(
+        state,
+        direction=AlwaysPush(sparse_phase="bfsMain"),
+        tiebreak=ArbTiebreak(),
+    )
+    engine.run()
     return state.finish()

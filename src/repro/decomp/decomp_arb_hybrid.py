@@ -18,98 +18,39 @@ Classification by final labels is exact, not an approximation: a
 vertex's component label never changes once assigned, so an edge's
 intra/inter status is determined the moment both endpoints are labeled
 — which is precisely when the sparse path classifies it too.
+
+As an engine configuration this variant is::
+
+    tie-break = arb (CAS race), direction = fraction hybrid (20 %)
+
+The dense-switch rule (decided on the *claimed* frontier — last
+round's BFS winners, excluding freshly started centers) lives in
+:class:`repro.engine.direction.FractionHybrid`; the read-based sweep
+and the deferred-edge classification live in
+:func:`repro.engine.kernels.dense_round` and
+:func:`repro.engine.kernels.filter_edges` (re-exported here under
+their historical names).
 """
 
 from __future__ import annotations
 
-import math
-from typing import List
-
-import numpy as np
-
-from repro.bfs.frontier import DENSE_THRESHOLD
-from repro.decomp.base import UNVISITED, Decomposition, DecompState
-from repro.decomp.decomp_arb import _validate_beta, arb_round
+from repro.decomp.base import (
+    UNVISITED,  # noqa: F401  (historical re-export)
+    Decomposition,
+    DecompState,
+    validate_beta,
+)
+from repro.engine.core import TraversalEngine
+from repro.engine.direction import FractionHybrid
+from repro.engine.frontier import DENSE_THRESHOLD
+from repro.engine.kernels import (  # noqa: F401  (historical re-exports)
+    dense_round,
+    filter_edges,
+)
+from repro.engine.tiebreak import ArbTiebreak
 from repro.graphs.csr import CSRGraph
-from repro.pram.cost import current_tracker
-from repro.primitives.atomics import first_winner
-from repro.primitives.pack import pack_index
 
 __all__ = ["decomp_arb_hybrid"]
-
-
-def dense_round(state: DecompState) -> np.ndarray:
-    """One read-based round: unvisited vertices pull from the frontier.
-
-    Returns the newly visited vertices (next frontier).  Charges the
-    early-exit edge count as streaming ``scan`` work — no atomics.
-    """
-    tracker = current_tracker()
-    graph, C = state.graph, state.C
-    n = graph.num_vertices
-
-    on_frontier = np.zeros(n, dtype=bool)
-    on_frontier[state.frontier] = True
-    tracker.add("scatter", work=float(state.frontier.size), depth=1.0)
-
-    unvisited = pack_index(C == UNVISITED)
-    if unvisited.size == 0:
-        tracker.sync()
-        return np.zeros(0, dtype=np.int64)
-    # charge_cost=False: only the early-exit edge count below is charged.
-    src, dst = graph.expand(unvisited, charge_cost=False)
-    hit = on_frontier[dst]
-    hit_positions = np.flatnonzero(hit)
-    if hit_positions.size:
-        first_pos, winners = first_winner(src[hit_positions])
-        adopted_from = dst[hit_positions[first_pos]]
-        C[winners] = C[adopted_from]
-        tracker.add("scatter", work=float(winners.size), depth=1.0)
-        state.visited += int(winners.size)
-    else:
-        winners = np.zeros(0, dtype=np.int64)
-
-    # Early-exit accounting: edges scanned up to the first hit (or the
-    # whole list when there is none) — this is the work the paper's
-    # read-based sweep saves over the write-based one.
-    counts = graph.offsets[unvisited + 1] - graph.offsets[unvisited]
-    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
-    scanned = counts.astype(np.float64)
-    if hit_positions.size:
-        order = np.searchsorted(unvisited, winners)
-        scanned[order] = (hit_positions[first_pos] - starts[order] + 1).astype(
-            np.float64
-        )
-    examined = int(scanned.sum())
-    state.edges_inspected += examined
-    tracker.add("scan", work=float(examined + unvisited.size), depth=1.0)
-    tracker.sync(depth=float(max(1, math.ceil(math.log2(n + 1)))))
-    return winners
-
-
-def filter_edges(state: DecompState, deferred: List[np.ndarray]) -> None:
-    """The post-processing phase: classify every deferred edge.
-
-    *deferred* holds the frontiers of the dense rounds; their out-edges
-    were never inspected write-based, so we stream over them once,
-    keeping those whose endpoint labels differ (already relabeled to
-    component ids, as everywhere else).
-    """
-    tracker = current_tracker()
-    if not deferred:
-        return
-    vertices = np.concatenate(deferred)
-    if vertices.size == 0:
-        return
-    C = state.C
-    src, dst = state.graph.expand(vertices)
-    state.edges_inspected += int(src.size)
-    cu = C[src]
-    cw = C[dst]
-    tracker.add("scan", work=float(2 * src.size), depth=1.0)
-    inter = cu != cw
-    state.keep_inter(cu[inter], cw[inter], src[inter], dst[inter])
-    tracker.sync(depth=float(max(1, math.ceil(math.log2(src.size + 1)))))
 
 
 def decomp_arb_hybrid(
@@ -134,40 +75,17 @@ def decomp_arb_hybrid(
     round_budget:
         Optional :class:`~repro.resilience.policy.RoundBudget` override.
     """
-    _validate_beta(beta)
+    validate_beta(beta)
     state = DecompState(
         graph, beta, seed, schedule_mode,
         budget=round_budget, algorithm="decomp-arb-hybrid",
     )
-    tracker = current_tracker()
-    next_frontier = np.zeros(0, dtype=np.int64)
-    deferred: List[np.ndarray] = []
-    while True:
-        claimed = int(next_frontier.size)
-        state.start_new_centers(next_frontier)
-        if state.done:
-            break
-        # The paper's switch: go read-based when the frontier exceeds
-        # 20% of the vertices (and there is someone left to pull).
-        # The decision is made on the *claimed* frontier — last round's
-        # BFS winners — not counting the centers that just started:
-        # with beta = 0.2 the largest possible center chunk is a
-        # (1 - e^-beta) ~ 18% fraction of the vertices, deliberately
-        # under the threshold, and counting it would let sampling noise
-        # flip diameter-bound graphs (line, 3D-grid) into dense rounds
-        # the paper never observes (Figure 7).
-        go_dense = (
-            state.visited < state.n and claimed > dense_threshold * state.n
-        )
-        if go_dense:
-            state.dense_rounds.append(state.round)
-            deferred.append(state.frontier)
-            with tracker.phase("bfsDense"):
-                next_frontier = dense_round(state)
-        else:
-            with tracker.phase("bfsSparse"):
-                next_frontier = arb_round(state)
-        state.round += 1
-    with tracker.phase("filterEdges"):
-        filter_edges(state, deferred)
+    engine = TraversalEngine(
+        state,
+        direction=FractionHybrid(
+            threshold=dense_threshold, sparse_phase="bfsSparse"
+        ),
+        tiebreak=ArbTiebreak(),
+    )
+    engine.run()
     return state.finish()

@@ -26,106 +26,34 @@ carries an ablation that charges the two-array layout's extra traffic.
 The two phases and the extra per-vertex state are exactly the costs
 Decomp-Arb removes; the experiments reproduce the resulting 1.3-2.3x
 gap (Table 2).
+
+As an engine configuration this variant is::
+
+    tie-break = min (writeMin pairs), direction = always-push
+
+The round kernel lives in :func:`repro.engine.kernels.min_round`
+(re-exported here under its historical name); the writeMin pair array
+is owned by :class:`repro.engine.tiebreak.MinTiebreak`.
 """
 
 from __future__ import annotations
 
-import math
-
-import numpy as np
-
-from repro.decomp.base import UNVISITED, Decomposition, DecompState
-from repro.decomp.decomp_arb import _validate_beta
-from repro.decomp.shifts import FRAC_BITS
+from repro.decomp.base import (
+    UNVISITED,  # noqa: F401  (historical re-export)
+    Decomposition,
+    DecompState,
+    validate_beta,
+)
+from repro.engine.core import TraversalEngine
+from repro.engine.direction import AlwaysPush
+from repro.engine.kernels import (  # noqa: F401  (historical re-exports)
+    _PAIR_INF,
+    min_round,
+)
+from repro.engine.tiebreak import MinTiebreak
 from repro.graphs.csr import CSRGraph
-from repro.pram.cost import current_tracker
-from repro.primitives.atomics import decode_pair, encode_pair, first_winner, write_min
 
 __all__ = ["decomp_min"]
-
-#: writeMin identity for the merged (delta', center) pair array.
-_PAIR_INF = np.int64((1 << 62) - 1)
-
-
-def min_round(state: DecompState, pair: np.ndarray) -> np.ndarray:
-    """One Decomp-Min round: writeMin phase, barrier, claim phase.
-
-    *pair* is the per-vertex merged (delta', center) writeMin cell
-    (the first element of the paper's C pairs); ``state.C`` plays the
-    role of the second element (the component id).  Returns the next
-    frontier.
-    """
-    tracker = current_tracker()
-    graph, C = state.graph, state.C
-    frac = state.schedule.frac
-
-    # ---- Phase 1: writeMin marking + classification of visited targets.
-    with tracker.phase("bfsPhase1"):
-        src, dst = graph.expand(state.frontier)
-        state.edges_inspected += int(src.size)
-        if src.size == 0:
-            tracker.sync()
-            return np.zeros(0, dtype=np.int64)
-        cu = C[src]
-        cw = C[dst]
-        # 3 words per edge: the source's component plus the target's
-        # (conflict-value, componentID) *pair* — the extra word per
-        # vertex visit the paper's pair layout trades for one fewer
-        # cache miss than a two-array layout would cost.
-        tracker.add("gather", work=float(3 * src.size), depth=1.0)
-
-        unvis = cw == UNVISITED
-        # writeMin((delta'_{C[u]}, C[u])) onto every unvisited target.
-        keys = encode_pair(frac[cu[unvis]], cu[unvis])
-        write_min(pair, dst[unvis], keys)
-
-        # Edges to visited targets resolve now: inter iff labels differ.
-        vis_pos = np.flatnonzero(~unvis)
-        inter_vis = cw[vis_pos] != cu[vis_pos]
-        keep_pos = vis_pos[inter_vis]
-        state.keep_inter(cu[keep_pos], cw[keep_pos], src[keep_pos], dst[keep_pos])
-        # Phase-1 output compaction (the paper's in-place E overwrite).
-        tracker.sync(depth=float(max(1, math.ceil(math.log2(src.size + 1)))))
-
-    # ---- Phase 2: losers classify, winners claim (one CAS per target).
-    with tracker.phase("bfsPhase2"):
-        unvis_pos = np.flatnonzero(unvis)
-        # The paper's phase 2 re-reads every edge kept by phase 1: the
-        # unresolved (unvisited-target) ones — whose merged pair is two
-        # words — plus the already-classified inter edges, skipped via
-        # their sign bit at unit cost.
-        tracker.add(
-            "gather",
-            work=float(2 * unvis_pos.size + int(inter_vis.sum())),
-            depth=1.0,
-        )
-        if unvis_pos.size == 0:
-            tracker.sync()
-            return np.zeros(0, dtype=np.int64)
-        targets = dst[unvis_pos]
-        merged = pair[targets]
-        _, winner_center = decode_pair(merged)
-        mine = cu[unvis_pos]
-        won = winner_center == mine
-
-        # Winning component's vertices race one CAS to add w once.
-        win_targets = targets[won]
-        first_pos, new_vertices = first_winner(win_targets)
-        C[new_vertices] = winner_center[won][first_pos]
-        # Mark claimed cells so later writeMins cannot touch them
-        # (the paper sets C1[w] = -1; our pair array is per-DECOMP and
-        # claimed vertices are excluded by C[w] != UNVISITED instead).
-        tracker.add("scatter", work=float(new_vertices.size), depth=1.0)
-        state.visited += int(new_vertices.size)
-
-        # Losers: inter-component iff the winner differs (it does, by
-        # definition of losing) — matches Algorithm 2 lines 32-35.
-        lose_pos = unvis_pos[~won]
-        state.keep_inter(
-            cu[lose_pos], C[dst[lose_pos]], src[lose_pos], dst[lose_pos]
-        )
-        tracker.sync(depth=float(max(1, math.ceil(math.log2(src.size + 1)))))
-    return new_vertices
 
 
 def decomp_min(
@@ -143,20 +71,15 @@ def decomp_min(
     two synchronized passes per round.  ``round_budget`` optionally
     overrides the default O(log n / beta)-derived round bound.
     """
-    _validate_beta(beta)
+    validate_beta(beta)
     state = DecompState(
         graph, beta, seed, schedule_mode,
         budget=round_budget, algorithm="decomp-min",
     )
-    tracker = current_tracker()
-    with tracker.phase("init"):
-        pair = np.full(graph.num_vertices, _PAIR_INF, dtype=np.int64)
-        tracker.add("alloc", work=float(graph.num_vertices), depth=1.0)
-    next_frontier = np.zeros(0, dtype=np.int64)
-    while True:
-        state.start_new_centers(next_frontier)
-        if state.done:
-            break
-        next_frontier = min_round(state, pair)
-        state.round += 1
+    engine = TraversalEngine(
+        state,
+        direction=AlwaysPush(),
+        tiebreak=MinTiebreak(),
+    )
+    engine.run()
     return state.finish()

@@ -35,7 +35,8 @@ class LowDiameterDecomposition:
         Measured fraction of undirected edges crossing partitions.
     fraction_bound:
         The theoretical expectation bound: beta for ``variant="min"``,
-        2*beta otherwise (Theorem 2).
+        2*beta otherwise (Theorem 2; ``min-hybrid``'s dense rounds
+        adopt arbitrarily, so it carries the arbitrary rule's bound).
     max_radius / radius_bound:
         Worst vertex-to-center hop distance, and log(n)/beta.
     """
@@ -58,7 +59,7 @@ class LowDiameterDecomposition:
 def low_diameter_decomposition(
     graph: CSRGraph,
     beta: float,
-    variant: Literal["min", "arb", "arb-hybrid"] = "arb",
+    variant: Literal["min", "arb", "arb-hybrid", "min-hybrid"] = "arb",
     seed: int = 1,
     schedule_mode: str = "permutation",
 ) -> LowDiameterDecomposition:

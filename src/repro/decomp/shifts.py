@@ -34,9 +34,13 @@ import numpy as np
 
 from repro.errors import ParameterError
 from repro.pram.cost import current_tracker
-from repro.resilience.faults import active_fault_plan
-from repro.primitives.rand import exponential_shifts, hash_randoms, random_permutation
+from repro.primitives.rand import (
+    exponential_shifts,
+    hash_randoms,
+    random_permutation,
+)
 from repro.primitives.sort import radix_argsort
+from repro.resilience.faults import active_fault_plan
 
 __all__ = ["ShiftSchedule", "FRAC_BITS"]
 

@@ -1,0 +1,175 @@
+"""The unified level-synchronous traversal engine.
+
+Every BFS-shaped algorithm in the repository — the three paper
+decomposition variants, their new Decomp-Min-Hybrid combination, plain
+parallel BFS, direction-optimizing BFS, and the per-component BFS of
+hybrid-BFS-CC — is one *round loop* around three pluggable pieces:
+
+* a :class:`TraversalState` — the per-run mutable state (who is
+  visited, what the frontier is, what a claim writes) plus the round
+  kernels that expand it;
+* a :class:`~repro.engine.tiebreak.TiebreakPolicy` — how concurrent
+  claims on the same unvisited vertex are resolved (``arb`` = bare CAS
+  race, ``min`` = writeMin over (delta', center) pairs);
+* a :class:`~repro.engine.direction.DirectionPolicy` — whether a round
+  runs write-based (push) or read-based (pull), per Beamer's
+  direction-optimizing rule.
+
+:class:`TraversalEngine` owns the loop itself: the round boundary
+(where the :class:`~repro.resilience.policy.RoundBudget` check and the
+:class:`~repro.resilience.faults.FaultPlan` hooks fire, via the
+state's ``begin_round``), the push/pull dispatch, and the end-of-round
+barrier accounting (:func:`end_round` — the single authoritative place
+that charges frontier/edge-packing depth, so the per-phase breakdowns
+of Figures 5-7 are mutually comparable).
+
+The engine exists so that a *variant* is nothing but a policy table
+(see ``docs/algorithms.md``): the level-synchronous loop is written
+once, here, and nowhere else.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.pram.cost import current_tracker
+
+__all__ = ["UNVISITED", "TraversalState", "TraversalEngine", "end_round"]
+
+#: Sentinel for "no label / not yet visited" in every per-vertex state
+#: array (component labels, BFS parents, BFS distances).  The single
+#: definition; :mod:`repro.decomp.base` and :mod:`repro.bfs` re-export.
+UNVISITED = np.int64(-1)
+
+
+def end_round(edges: int = 0, *, packing: str = "edges") -> None:
+    """Charge the end-of-round barrier — the engine-owned ``sync``.
+
+    Every level-synchronous round ends with a barrier at which the
+    surviving work items are compacted into the next round's input.
+    Two packing regimes exist, and this function is the only place
+    either is charged:
+
+    * ``packing="edges"`` — the decomposition kernels compact the
+      round's surviving/kept edge list and the next frontier with a
+      parallel pack: O(log(*edges* + 1)) depth (at least one step, so
+      an empty round still pays its barrier).
+    * ``packing="unit"`` — the BFS kernels keep the seed cost model's
+      unit barrier: the frontier pack's log-depth is already folded
+      into their per-primitive depth charges.
+    """
+    tracker = current_tracker()
+    if packing == "edges":
+        tracker.sync(depth=float(max(1, math.ceil(math.log2(edges + 1)))))
+    elif packing == "unit":
+        tracker.sync()
+    else:
+        raise ParameterError(f"unknown packing rule {packing!r}")
+
+
+class TraversalState:
+    """Base class for the engine's per-run mutable state.
+
+    Concrete states (:class:`~repro.decomp.base.DecompState`,
+    :class:`~repro.engine.state.BFSTreeState`,
+    :class:`~repro.engine.state.ComponentLabelState`) hold the
+    per-vertex arrays and implement the round kernels; the engine only
+    talks to this interface.
+    """
+
+    #: Rounds executed so far (incremented by the engine).
+    round: int = 0
+
+    # The data half of the interface is annotation-only (no base-class
+    # properties) so implementations are free to satisfy each name with
+    # either a plain attribute or a property:
+    #: Number of vertices in the traversed graph.
+    n: int
+    #: Vertices claimed so far (drives the fraction dense switch).
+    visited_count: int
+    #: True when the loop should stop (checked after ``begin_round``).
+    done: bool
+    #: The current frontier as a vertex-id array.
+    frontier: np.ndarray
+
+    def initial_frontier(self) -> np.ndarray:
+        """Frontier fed into the first ``begin_round``."""
+        raise NotImplementedError
+
+    def begin_round(self, engine: "TraversalEngine", next_frontier: np.ndarray) -> None:
+        """Install *next_frontier* and run round-boundary bookkeeping.
+
+        This is the round boundary, so resilience lives here: budget
+        checks and fault-plan hooks fire from the implementations.
+        """
+        raise NotImplementedError
+
+    def note_dense_round(self) -> None:
+        """Called before a pull round runs (record-keeping hook)."""
+
+    def push_round(self, engine: "TraversalEngine") -> np.ndarray:
+        """One write-based round; returns the next frontier."""
+        raise NotImplementedError
+
+    def pull_round(self, engine: "TraversalEngine") -> np.ndarray:
+        """One read-based round; returns the next frontier."""
+        raise NotImplementedError(
+            "this state has no read-based kernel; use a push-only "
+            "direction policy"
+        )
+
+    def finalize(self, engine: "TraversalEngine") -> None:
+        """Post-loop work (e.g. the hybrid's filterEdges pass)."""
+
+
+class TraversalEngine:
+    """The one level-synchronous round loop.
+
+    Parameters
+    ----------
+    state:
+        The per-run :class:`TraversalState`.
+    direction:
+        A :class:`~repro.engine.direction.DirectionPolicy` deciding
+        push vs. pull each round.
+    tiebreak:
+        A :class:`~repro.engine.tiebreak.TiebreakPolicy` resolving
+        concurrent claims; states whose push kernel delegates to it
+        (the decomposition family) require one, the BFS states resolve
+        with the arbitrary-CRCW race directly and may omit it.
+    """
+
+    def __init__(self, state, direction, tiebreak=None) -> None:
+        self.state = state
+        self.direction = direction
+        self.tiebreak = tiebreak
+
+    def run(self):
+        """Drive rounds until the state reports done; return the state.
+
+        Each iteration: the round boundary (``begin_round`` — seeding,
+        budget check, fault hooks), the direction decision on the
+        *claimed* frontier (last round's winners, before any seeding —
+        the decomposition's switch deliberately excludes fresh
+        centers), then one push or pull round.
+        """
+        state, direction = self.state, self.direction
+        if self.tiebreak is not None:
+            self.tiebreak.setup(state)
+        next_frontier = state.initial_frontier()
+        while True:
+            claimed = int(next_frontier.size)
+            state.begin_round(self, next_frontier)
+            if state.done:
+                break
+            if direction.go_dense(self, state, claimed):
+                state.note_dense_round()
+                next_frontier = state.pull_round(self)
+            else:
+                next_frontier = state.push_round(self)
+            state.round += 1
+        state.finalize(self)
+        return state

@@ -1,0 +1,159 @@
+"""Direction policies: push (write-based) vs. pull (read-based) rounds.
+
+Beamer's direction-optimizing insight: when the frontier is large, it
+is cheaper to run a level *backwards* — every unvisited vertex scans
+its own adjacency list for a frontier neighbor and exits early — than
+to expand the frontier's out-edges.  The engine makes the decision a
+pluggable per-round policy:
+
+* :class:`AlwaysPush` — classic level-synchronous traversal.
+* :class:`AlwaysPull` — every round read-based (BFS ablations; also a
+  legal, if eccentric, decomposition configuration).
+* :class:`FractionHybrid` — the paper's 20 %-of-vertices rule, used by
+  Decomp-Arb-Hybrid, Decomp-Min-Hybrid, and direction-optimizing BFS.
+* :class:`LigraEdgeHybrid` — Ligra's edge-count heuristic
+  (frontier out-degree + size vs. (m + n)/20), used by hybrid-BFS-CC.
+
+A policy sees the engine, the state, and the *claimed* frontier size
+(last round's winners, before any center seeding — the decomposition's
+switch deliberately excludes fresh centers; see decomp_arb_hybrid's
+history for why).  ``sparse_phase`` is the CostTracker phase label a
+push round runs under for states that track phases (``bfsMain`` for
+pure push decomposition, ``bfsSparse`` for the hybrids).
+
+Register a custom policy with :func:`register_direction_policy`; see
+``docs/api.md`` for a worked example.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from repro.engine.frontier import DENSE_THRESHOLD
+from repro.errors import ParameterError
+from repro.pram.cost import current_tracker
+
+__all__ = [
+    "DirectionPolicy",
+    "AlwaysPush",
+    "AlwaysPull",
+    "FractionHybrid",
+    "LigraEdgeHybrid",
+    "DIRECTION_POLICIES",
+    "register_direction_policy",
+]
+
+
+class DirectionPolicy:
+    """Per-round choice between the push and pull kernels."""
+
+    #: Registry key and display name.
+    name: str = "?"
+    #: Phase label for push rounds of phase-tracking states (or None).
+    sparse_phase: Optional[str] = None
+
+    def go_dense(self, engine, state, claimed: int) -> bool:
+        """True to run this round read-based (pull)."""
+        raise NotImplementedError
+
+
+class AlwaysPush(DirectionPolicy):
+    """Every round write-based: the classic level-synchronous loop."""
+
+    name = "push"
+
+    def __init__(self, sparse_phase: Optional[str] = None) -> None:
+        self.sparse_phase = sparse_phase
+
+    def go_dense(self, engine, state, claimed: int) -> bool:
+        return False
+
+
+class AlwaysPull(DirectionPolicy):
+    """Every round read-based (the forced bottom-up ablation)."""
+
+    name = "pull"
+
+    def __init__(self, sparse_phase: Optional[str] = None) -> None:
+        self.sparse_phase = sparse_phase
+
+    def go_dense(self, engine, state, claimed: int) -> bool:
+        return True
+
+
+class FractionHybrid(DirectionPolicy):
+    """The paper's rule: pull when claimed > threshold * n.
+
+    Matches §4's "fraction of vertices on the frontier is greater than
+    20%", guarded by "someone is left to pull" — once every vertex is
+    visited the remaining drain rounds run (cheap) write-based.
+    """
+
+    name = "fraction"
+
+    def __init__(
+        self,
+        threshold: float = DENSE_THRESHOLD,
+        sparse_phase: Optional[str] = None,
+    ) -> None:
+        self.threshold = threshold
+        self.sparse_phase = sparse_phase
+
+    def go_dense(self, engine, state, claimed: int) -> bool:
+        return (
+            state.visited_count < state.n
+            and claimed > self.threshold * state.n
+        )
+
+
+class LigraEdgeHybrid(DirectionPolicy):
+    """Ligra's edge-count switch, used by hybrid-BFS-CC.
+
+    Go bottom-up when the frontier's outgoing edges plus its vertices
+    exceed ``(m + n) * threshold / 4`` — at the default threshold of
+    0.20 that is the classic (m + n)/20, so a handful of hub vertices
+    can already flip a dense graph to the read-based sweep (the
+    rMat2/com-Orkut regime).  The degree sum is a real per-round
+    computation, charged as a ``scan`` over the frontier.
+    """
+
+    name = "ligra-edges"
+
+    def __init__(self, graph, threshold: float = DENSE_THRESHOLD) -> None:
+        self.graph = graph
+        self.switch_budget = (
+            (graph.num_directed + graph.num_vertices) * threshold / 4.0
+        )
+
+    def go_dense(self, engine, state, claimed: int) -> bool:
+        frontier = state.frontier
+        offsets = self.graph.offsets
+        frontier_edges = int((offsets[frontier + 1] - offsets[frontier]).sum())
+        current_tracker().add("scan", work=float(frontier.size), depth=1.0)
+        return frontier_edges + frontier.size > self.switch_budget
+
+
+#: Name -> policy class; the property tests enumerate this.  (Note:
+#: LigraEdgeHybrid is constructed with the input graph, the others with
+#: keyword arguments only.)
+DIRECTION_POLICIES: Dict[str, Type[DirectionPolicy]] = {
+    AlwaysPush.name: AlwaysPush,
+    AlwaysPull.name: AlwaysPull,
+    FractionHybrid.name: FractionHybrid,
+    LigraEdgeHybrid.name: LigraEdgeHybrid,
+}
+
+
+def register_direction_policy(cls: Type[DirectionPolicy]) -> Type[DirectionPolicy]:
+    """Register a custom :class:`DirectionPolicy` under ``cls.name``.
+
+    Usable as a class decorator; raises on name collisions so a custom
+    policy cannot silently shadow a built-in rule.
+    """
+    name = getattr(cls, "name", None)
+    if not name or name == "?":
+        raise ParameterError("direction policy must define a class-level name")
+    if name in DIRECTION_POLICIES and DIRECTION_POLICIES[name] is not cls:
+        raise ParameterError(f"direction policy {name!r} already registered")
+    DIRECTION_POLICIES[name] = cls
+    return cls

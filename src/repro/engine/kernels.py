@@ -1,0 +1,293 @@
+"""The shared round kernels: one vectorized CRCW step batch each.
+
+These are the bodies of every level-synchronous round in the system,
+written once.  The decomposition kernels (:func:`arb_round`,
+:func:`min_round`, :func:`dense_round`, :func:`filter_edges`) operate
+on a :class:`~repro.decomp.base.DecompState`; :func:`bottom_up_step`
+is the read-based sweep shared by the BFS family.  The variant modules
+re-export them under their historical names, and the engine's policy
+objects dispatch to them.
+
+Cost parity note: each kernel charges exactly what its pre-engine
+counterpart charged; the only intentional change is that every
+end-of-round barrier is routed through
+:func:`repro.engine.core.end_round`, which charges the uniform
+``log2(round_edges + 1)`` packing depth for decomposition rounds
+(previously the hybrid's dense round charged ``log2(n_vertices + 1)``,
+making the Figure 5-7 phase breakdowns mutually incomparable).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.engine.core import UNVISITED, end_round
+from repro.pram.cost import current_tracker
+from repro.primitives.atomics import decode_pair, encode_pair, first_winner, write_min
+from repro.primitives.pack import pack_index
+
+__all__ = [
+    "arb_round",
+    "min_round",
+    "dense_round",
+    "filter_edges",
+    "bottom_up_step",
+    "_PAIR_INF",
+]
+
+#: writeMin identity for the merged (delta', center) pair array.
+_PAIR_INF = np.int64((1 << 62) - 1)
+
+
+def arb_round(state) -> np.ndarray:
+    """One Decomp-Arb BFS round over the current frontier.
+
+    Returns the next frontier (this round's CAS winners).  Mutates
+    ``state.C`` and appends surviving inter-edges.
+    """
+    tracker = current_tracker()
+    graph, C = state.graph, state.C
+    src, dst = graph.expand(state.frontier)
+    state.edges_inspected += int(src.size)
+    if src.size == 0:
+        end_round()
+        return np.zeros(0, dtype=np.int64)
+    cu = C[src]
+    cw = C[dst]
+    tracker.add("gather", work=float(2 * src.size), depth=1.0)
+
+    # CAS races on unvisited targets: one arbitrary winner each.
+    unvis = cw == UNVISITED
+    unvis_pos = np.flatnonzero(unvis)
+    win_local, winners = first_winner(dst[unvis_pos])
+    win_pos = unvis_pos[win_local]
+    C[winners] = cu[win_pos]
+    tracker.add("scatter", work=float(winners.size), depth=1.0)
+    state.visited += int(winners.size)
+
+    # All non-winning edges can be classified immediately: the winner's
+    # component id is visible to the losers of the race (Algorithm 3
+    # lines 16-19), and previously visited targets carry their label.
+    is_winner_edge = np.zeros(src.size, dtype=bool)
+    is_winner_edge[win_pos] = True
+    rest = ~is_winner_edge
+    cw_now = C[dst[rest]]
+    cu_rest = cu[rest]
+    tracker.add("gather", work=float(cu_rest.size), depth=1.0)
+    inter = cw_now != cu_rest
+    state.keep_inter(
+        cu_rest[inter], cw_now[inter], src[rest][inter], dst[rest][inter]
+    )
+    # End-of-round packing of kept edges / next frontier.
+    end_round(int(src.size))
+    return winners
+
+
+def min_round(state, pair: np.ndarray) -> np.ndarray:
+    """One Decomp-Min round: writeMin phase, barrier, claim phase.
+
+    *pair* is the per-vertex merged (delta', center) writeMin cell
+    (the first element of the paper's C pairs); ``state.C`` plays the
+    role of the second element (the component id).  Returns the next
+    frontier.
+    """
+    tracker = current_tracker()
+    graph, C = state.graph, state.C
+    frac = state.schedule.frac
+
+    # ---- Phase 1: writeMin marking + classification of visited targets.
+    with tracker.phase("bfsPhase1"):
+        src, dst = graph.expand(state.frontier)
+        state.edges_inspected += int(src.size)
+        if src.size == 0:
+            end_round()
+            return np.zeros(0, dtype=np.int64)
+        cu = C[src]
+        cw = C[dst]
+        # 3 words per edge: the source's component plus the target's
+        # (conflict-value, componentID) *pair* — the extra word per
+        # vertex visit the paper's pair layout trades for one fewer
+        # cache miss than a two-array layout would cost.
+        tracker.add("gather", work=float(3 * src.size), depth=1.0)
+
+        unvis = cw == UNVISITED
+        # writeMin((delta'_{C[u]}, C[u])) onto every unvisited target.
+        keys = encode_pair(frac[cu[unvis]], cu[unvis])
+        write_min(pair, dst[unvis], keys)
+
+        # Edges to visited targets resolve now: inter iff labels differ.
+        vis_pos = np.flatnonzero(~unvis)
+        inter_vis = cw[vis_pos] != cu[vis_pos]
+        keep_pos = vis_pos[inter_vis]
+        state.keep_inter(cu[keep_pos], cw[keep_pos], src[keep_pos], dst[keep_pos])
+        # Phase-1 output compaction (the paper's in-place E overwrite).
+        end_round(int(src.size))
+
+    # ---- Phase 2: losers classify, winners claim (one CAS per target).
+    with tracker.phase("bfsPhase2"):
+        unvis_pos = np.flatnonzero(unvis)
+        # The paper's phase 2 re-reads every edge kept by phase 1: the
+        # unresolved (unvisited-target) ones — whose merged pair is two
+        # words — plus the already-classified inter edges, skipped via
+        # their sign bit at unit cost.
+        tracker.add(
+            "gather",
+            work=float(2 * unvis_pos.size + int(inter_vis.sum())),
+            depth=1.0,
+        )
+        if unvis_pos.size == 0:
+            end_round()
+            return np.zeros(0, dtype=np.int64)
+        targets = dst[unvis_pos]
+        merged = pair[targets]
+        _, winner_center = decode_pair(merged)
+        mine = cu[unvis_pos]
+        won = winner_center == mine
+
+        # Winning component's vertices race one CAS to add w once.
+        win_targets = targets[won]
+        first_pos, new_vertices = first_winner(win_targets)
+        C[new_vertices] = winner_center[won][first_pos]
+        # Mark claimed cells so later writeMins cannot touch them
+        # (the paper sets C1[w] = -1; our pair array is per-DECOMP and
+        # claimed vertices are excluded by C[w] != UNVISITED instead).
+        tracker.add("scatter", work=float(new_vertices.size), depth=1.0)
+        state.visited += int(new_vertices.size)
+
+        # Losers: inter-component iff the winner differs (it does, by
+        # definition of losing) — matches Algorithm 2 lines 32-35.
+        lose_pos = unvis_pos[~won]
+        state.keep_inter(
+            cu[lose_pos], C[dst[lose_pos]], src[lose_pos], dst[lose_pos]
+        )
+        end_round(int(src.size))
+    return new_vertices
+
+
+def dense_round(state) -> np.ndarray:
+    """One read-based round: unvisited vertices pull from the frontier.
+
+    Returns the newly visited vertices (next frontier).  Charges the
+    early-exit edge count as streaming ``scan`` work — no atomics.
+    Tie-break-policy independent: whoever the tie-break rule would pick
+    among concurrent writers, the pull sweep adopts the first frontier
+    neighbor in adjacency order (a legal arbitrary-CRCW schedule).
+    """
+    tracker = current_tracker()
+    graph, C = state.graph, state.C
+
+    on_frontier = np.zeros(state.n, dtype=bool)
+    on_frontier[state.frontier] = True
+    tracker.add("scatter", work=float(state.frontier.size), depth=1.0)
+
+    unvisited = pack_index(C == UNVISITED)
+    if unvisited.size == 0:
+        end_round()
+        return np.zeros(0, dtype=np.int64)
+    # charge_cost=False: only the early-exit edge count below is charged.
+    src, dst = graph.expand(unvisited, charge_cost=False)
+    hit = on_frontier[dst]
+    hit_positions = np.flatnonzero(hit)
+    if hit_positions.size:
+        first_pos, winners = first_winner(src[hit_positions])
+        adopted_from = dst[hit_positions[first_pos]]
+        C[winners] = C[adopted_from]
+        tracker.add("scatter", work=float(winners.size), depth=1.0)
+        state.visited += int(winners.size)
+    else:
+        winners = np.zeros(0, dtype=np.int64)
+
+    # Early-exit accounting: edges scanned up to the first hit (or the
+    # whole list when there is none) — this is the work the paper's
+    # read-based sweep saves over the write-based one.
+    counts = graph.offsets[unvisited + 1] - graph.offsets[unvisited]
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    scanned = counts.astype(np.float64)
+    if hit_positions.size:
+        order = np.searchsorted(unvisited, winners)
+        scanned[order] = (hit_positions[first_pos] - starts[order] + 1).astype(
+            np.float64
+        )
+    examined = int(scanned.sum())
+    state.edges_inspected += examined
+    tracker.add("scan", work=float(examined + unvisited.size), depth=1.0)
+    end_round(examined)
+    return winners
+
+
+def filter_edges(state, deferred: List[np.ndarray]) -> None:
+    """The post-processing phase: classify every deferred edge.
+
+    *deferred* holds the frontiers of the dense rounds; their out-edges
+    were never inspected write-based, so we stream over them once,
+    keeping those whose endpoint labels differ (already relabeled to
+    component ids, as everywhere else).
+    """
+    tracker = current_tracker()
+    if not deferred:
+        return
+    vertices = np.concatenate(deferred)
+    if vertices.size == 0:
+        return
+    C = state.C
+    src, dst = state.graph.expand(vertices)
+    state.edges_inspected += int(src.size)
+    cu = C[src]
+    cw = C[dst]
+    tracker.add("scan", work=float(2 * src.size), depth=1.0)
+    inter = cu != cw
+    state.keep_inter(cu[inter], cw[inter], src[inter], dst[inter])
+    end_round(int(src.size))
+
+
+def bottom_up_step(
+    graph,
+    frontier_bitmap: np.ndarray,
+    visited: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """One read-based (bottom-up) BFS round.
+
+    Every unvisited vertex scans its neighbors in adjacency order and
+    adopts the first one lying on the current frontier.  Returns
+    ``(new_vertices, their_parents, edges_examined)`` where
+    *edges_examined* counts edge inspections up to each early exit —
+    the quantity the cost model charges.
+    """
+    tracker = current_tracker()
+    unvisited = pack_index(~visited)
+    if unvisited.size == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64), 0
+    # charge_cost=False: only the early-exit edge count below is charged.
+    src, dst = graph.expand(unvisited, charge_cost=False)
+    hit = frontier_bitmap[dst]
+    # First frontier-neighbor per source, exploiting expand()'s grouped,
+    # adjacency-ordered layout: the first occurrence of each source
+    # among the hits is its earliest hit.
+    hit_positions = np.flatnonzero(hit)
+    first_pos, winners = first_winner(src[hit_positions]) if hit_positions.size else (
+        np.zeros(0, dtype=np.int64),
+        np.zeros(0, dtype=np.int64),
+    )
+    parent_of_winner = dst[hit_positions[first_pos]] if hit_positions.size else (
+        np.zeros(0, dtype=np.int64)
+    )
+
+    # Early-exit cost: edges scanned = (position of first hit within the
+    # source's slice) + 1, or the full degree when there is no hit.
+    counts = graph.offsets[unvisited + 1] - graph.offsets[unvisited]
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    scanned = counts.astype(np.float64)
+    if winners.size:
+        # Map winner vertex id -> its index within `unvisited` to find
+        # the slice start of each winner.
+        order = np.searchsorted(unvisited, winners)
+        local_first = hit_positions[first_pos] - starts[order]
+        scanned_winners = (local_first + 1).astype(np.float64)
+        scanned[order] = scanned_winners
+    edges_examined = int(scanned.sum())
+    # Streaming reads, no atomics: the dense sweep's cache-friendliness.
+    tracker.add("scan", work=float(edges_examined + unvisited.size), depth=1.0)
+    tracker.add("scatter", work=float(winners.size), depth=1.0)
+    return winners, parent_of_winner, edges_examined

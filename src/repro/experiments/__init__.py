@@ -37,6 +37,7 @@ from repro.experiments.registry import (
     GRAPHS,
     PAPER_ALGORITHM_ORDER,
     PAPER_GRAPH_ORDER,
+    TABLE2_ALGORITHM_ORDER,
     build_graph,
     build_suite,
     fallback_chain,
@@ -55,6 +56,7 @@ __all__ = [
     "GRAPHS",
     "PAPER_ALGORITHM_ORDER",
     "PAPER_GRAPH_ORDER",
+    "TABLE2_ALGORITHM_ORDER",
     "RunProfile",
     "ascii_series",
     "build_graph",

@@ -12,7 +12,7 @@ import csv
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Sequence, Union
+from typing import Any, Dict, Mapping, Union
 
 __all__ = [
     "export_json",

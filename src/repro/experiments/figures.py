@@ -11,14 +11,14 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.harness import RunProfile, profile_run
+from repro.experiments.harness import profile_run
 from repro.experiments.registry import (
-    PAPER_ALGORITHM_ORDER,
+    TABLE2_ALGORITHM_ORDER,
     build_graph,
 )
 from repro.graphs.csr import CSRGraph
 from repro.graphs.generators import random_kregular
-from repro.pram.machine import MachineModel, paper_thread_sweep
+from repro.pram.machine import paper_thread_sweep
 
 __all__ = [
     "fig2_thread_sweep",
@@ -56,9 +56,10 @@ def fig2_thread_sweep(
 
     Returns ``{algorithm: {thread_label: seconds}}``; serial-SF appears
     as a flat line (its work is sequential by construction), matching
-    the paper's horizontal reference.
+    the paper's horizontal reference.  The default series set is
+    :data:`~repro.experiments.registry.TABLE2_ALGORITHM_ORDER`.
     """
-    algorithms = list(algorithms) if algorithms else PAPER_ALGORITHM_ORDER
+    algorithms = list(algorithms) if algorithms else TABLE2_ALGORITHM_ORDER
     series: Dict[str, Dict[str, float]] = {}
     for algo in algorithms:
         kwargs = {"beta": beta, "seed": seed} if algo.startswith("decomp-") else {}

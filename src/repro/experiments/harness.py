@@ -18,8 +18,8 @@ from __future__ import annotations
 import contextlib
 import statistics
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.verify import verify_labeling
 from repro.connectivity.base import ConnectivityResult
@@ -53,7 +53,9 @@ class RunProfile:
     tracker: CostTracker
     wall_seconds: float
 
-    def seconds_at(self, threads: ThreadSpec, base: Optional[MachineModel] = None) -> float:
+    def seconds_at(
+        self, threads: ThreadSpec, base: Optional[MachineModel] = None
+    ) -> float:
         model = (base or MachineModel()).with_threads(threads)
         return model.time_seconds(self.tracker)
 

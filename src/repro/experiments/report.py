@@ -29,7 +29,12 @@ from repro.experiments.figures import (
     fig8_size_scaling,
 )
 from repro.experiments.registry import PAPER_GRAPH_ORDER, build_suite
-from repro.experiments.tables import format_table1, format_table2, run_table1, run_table2
+from repro.experiments.tables import (
+    format_table1,
+    format_table2,
+    run_table1,
+    run_table2,
+)
 
 __all__ = ["generate_report"]
 

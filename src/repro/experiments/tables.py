@@ -10,11 +10,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.harness import profile_run
-from repro.experiments.registry import (
-    PAPER_ALGORITHM_ORDER,
-    PAPER_GRAPH_ORDER,
-    build_suite,
-)
+from repro.experiments.registry import TABLE2_ALGORITHM_ORDER, build_suite
 from repro.graphs.csr import CSRGraph
 
 __all__ = [
@@ -63,10 +59,12 @@ def run_table2(
 
     Returns ``{algorithm: {graph: {"1": seconds, "40h": seconds}}}``.
     One real run per cell; both thread columns derive from its
-    work/depth profile (DESIGN.md §5).
+    work/depth profile (DESIGN.md §5).  The default row set is
+    :data:`~repro.experiments.registry.TABLE2_ALGORITHM_ORDER` — the
+    paper's eight rows plus Decomp-Min-Hybrid.
     """
     graphs = graphs if graphs is not None else build_suite(scale)
-    algorithms = list(algorithms) if algorithms else PAPER_ALGORITHM_ORDER
+    algorithms = list(algorithms) if algorithms else TABLE2_ALGORITHM_ORDER
     table: Dict[str, Dict[str, Dict[str, float]]] = {}
     for algo in algorithms:
         table[algo] = {}

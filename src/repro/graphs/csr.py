@@ -18,8 +18,8 @@ Conventions
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, Optional, Tuple
+from dataclasses import dataclass
+from typing import Iterator, Tuple
 
 import numpy as np
 

@@ -27,7 +27,7 @@ supports the test suite's edge cases.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -35,7 +35,7 @@ from repro.errors import ParameterError
 from repro.graphs.builder import from_edges
 from repro.graphs.csr import CSRGraph
 from repro.pram.cost import current_tracker
-from repro.primitives.rand import random_permutation, uniform_fractions
+from repro.primitives.rand import random_permutation
 
 __all__ = [
     "random_kregular",
@@ -324,8 +324,12 @@ def preferential_attachment(n: int, k: int = 3, seed: int = 1) -> CSRGraph:
             dst.append(t)
             pool.append(v)
             pool.append(t)
-    src_arr = np.concatenate((np.array([0], dtype=np.int64), np.array(src, dtype=np.int64)))
-    dst_arr = np.concatenate((np.array([1], dtype=np.int64), np.array(dst, dtype=np.int64)))
+    src_arr = np.concatenate(
+        (np.array([0], dtype=np.int64), np.array(src, dtype=np.int64))
+    )
+    dst_arr = np.concatenate(
+        (np.array([1], dtype=np.int64), np.array(dst, dtype=np.int64))
+    )
     current_tracker().add("seq", work=float(len(src)), depth=0.0)
     return from_edges(src_arr, dst_arr, num_vertices=n)
 

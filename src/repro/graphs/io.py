@@ -7,10 +7,9 @@ the real file in) plus a fast ``.npz`` container for generated inputs.
 
 from __future__ import annotations
 
-import io
 import os
 from pathlib import Path
-from typing import Tuple, Union
+from typing import Union
 
 import numpy as np
 

@@ -210,7 +210,9 @@ class _NullTracker(CostTracker):
     checks at every call site) keeps primitive code branch-free.
     """
 
-    def add(self, kind: CostKind, work: float, depth: float = 0.0) -> None:  # noqa: D102
+    def add(  # noqa: D102
+        self, kind: CostKind, work: float, depth: float = 0.0
+    ) -> None:
         if kind not in KINDS:  # keep the validation so bugs surface in tests
             raise ValueError(f"unknown cost kind {kind!r}; expected one of {KINDS}")
 

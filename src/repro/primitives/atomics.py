@@ -20,7 +20,7 @@ work per write attempt.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -20,7 +20,6 @@ underlying :class:`HashTable` for tests and reuse.
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 

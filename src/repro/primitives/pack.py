@@ -34,7 +34,9 @@ def _charge(n: int, approximate: bool) -> None:
     tracker.add("scan", work=float(n), depth=depth)
 
 
-def pack(values: np.ndarray, flags: np.ndarray, approximate: bool = False) -> np.ndarray:
+def pack(
+    values: np.ndarray, flags: np.ndarray, approximate: bool = False
+) -> np.ndarray:
     """Keep ``values[i]`` where ``flags[i]`` is true, preserving order.
 
     O(n) work; O(log n) depth (O(log* n) with ``approximate=True``,

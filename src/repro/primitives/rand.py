@@ -17,7 +17,6 @@ Three pieces the decomposition algorithms need:
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -55,7 +54,8 @@ def hash_randoms(n: int, seed: int, stream: int = 0) -> np.ndarray:
         raise ParameterError(f"n must be >= 0, got {n}")
     current_tracker().add("scan", work=float(n), depth=1.0)
     base = _U64(
-        (seed & 0xFFFFFFFFFFFFFFFF) ^ ((stream * 0xD6E8FEB86659FD93) & 0xFFFFFFFFFFFFFFFF)
+        (seed & 0xFFFFFFFFFFFFFFFF)
+        ^ ((stream * 0xD6E8FEB86659FD93) & 0xFFFFFFFFFFFFFFFF)
     )
     idx = np.arange(n, dtype=_U64)
     return splitmix64(idx + splitmix64(np.array([base], dtype=_U64))[0])

@@ -363,7 +363,9 @@ class FaultPlan:
         for s in specs:
             if s.vertices is not None:
                 victims = [
-                    v for v in s.vertices if 0 <= v < C.size and C[v] != unvisited_sentinel
+                    v
+                    for v in s.vertices
+                    if 0 <= v < C.size and C[v] != unvisited_sentinel
                 ]
             else:
                 fire = self._rng.random() < s.probability

@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.analysis.verify import verify_labeling
-from repro.errors import ReproError, ResilienceExhaustedError
+from repro.errors import ResilienceExhaustedError
 from repro.resilience.checkpoint import SweepCheckpoint
 from repro.resilience.faults import FaultPlan
 from repro.resilience.policy import RetryPolicy
@@ -237,10 +237,10 @@ class ResilientRunner:
         each cell to the implementation that actually produced it, and
         ``failures`` is the structured failure log.
         """
-        from repro.experiments.registry import PAPER_ALGORITHM_ORDER, build_suite
+        from repro.experiments.registry import TABLE2_ALGORITHM_ORDER, build_suite
 
         graphs = graphs if graphs is not None else build_suite(scale)
-        algorithms = list(algorithms) if algorithms else PAPER_ALGORITHM_ORDER
+        algorithms = list(algorithms) if algorithms else TABLE2_ALGORITHM_ORDER
         table: Dict[str, Dict[str, dict]] = {}
         attempts: Dict[str, Dict[str, int]] = {}
         resolved: Dict[str, Dict[str, str]] = {}

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.graphs import (
@@ -20,7 +19,7 @@ from repro.graphs import (
     rmat,
     star_graph,
 )
-from repro.pram import CostTracker, tracking
+from repro.pram import tracking
 
 
 def _zoo() -> dict:

@@ -1,0 +1,1 @@
+"""Golden fixtures pinning pre-refactor behaviour, plus their generators."""

@@ -1,0 +1,156 @@
+"""Regenerate the golden decomposition-parity fixture.
+
+The fixture ``decomp_parity.json`` pins, for every zoo graph x variant
+x (beta, seed) combination, the full observable surface of one
+decomposition run: the labeling, the recorded inter-edge list, the
+per-round statistics, and the cost profile bucketed by (phase, kind).
+The engine parity suite (``tests/test_engine_parity.py``) replays the
+same runs through the current implementations and asserts bit-identical
+results.
+
+The committed fixture was captured at the last pre-engine commit
+(``cbcddb5``, the per-variant hand-rolled round loops), so the suite
+proves the :mod:`repro.engine` rewrite is seed-for-seed identical to
+the original implementations.  Regenerate only when an *intentional*
+output or cost-model change is being made, and record the reason here:
+
+* dense-round barrier depth: the pre-engine ``dense_round`` charged
+  ``log2(n_vertices + 1)`` packing depth while every other round kernel
+  charged ``log2(round_edges + 1)``; the engine routes all of them
+  through ``end_round`` (satellite fix), so the fixture's *depth*
+  numbers for the hybrid's ``bfsDense`` phase are compared with a
+  tolerance instead of exactly (see the parity test).
+
+Usage::
+
+    PYTHONPATH=src:. python tests/golden/generate_decomp_parity.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", ".."))
+
+from repro.bfs import hybrid_bfs, parallel_bfs  # noqa: E402
+from repro.connectivity import hybrid_bfs_cc  # noqa: E402
+from repro.decomp import DECOMP_VARIANTS  # noqa: E402
+from repro.pram.cost import tracking  # noqa: E402
+
+from tests.conftest import _zoo  # noqa: E402
+
+#: (beta, seed) combinations exercised per graph x variant.
+COMBOS = [(0.2, 1), (0.35, 7)]
+
+#: Zoo graphs the BFS-family parity entries run on (non-empty ones
+#: with varied density so both directions and multi-component paths
+#: are exercised).
+BFS_GRAPHS = [
+    "path", "star", "clique", "grid", "random", "gnm-sparse", "orkut", "union"
+]
+
+OUT_PATH = os.path.join(os.path.dirname(__file__), "decomp_parity.json")
+
+
+def _digest(*arrays: np.ndarray) -> str:
+    h = hashlib.sha256()
+    for a in arrays:
+        h.update(np.ascontiguousarray(a, dtype=np.int64).tobytes())
+    return h.hexdigest()
+
+
+def capture_one(decomp_fn, graph, beta: float, seed: int) -> dict:
+    """Run one decomposition under a fresh tracker; record everything."""
+    with tracking() as t:
+        dec = decomp_fn(graph, beta=beta, seed=seed)
+    return {
+        "labels_sha256": _digest(dec.labels),
+        "inter_sha256": _digest(dec.inter_src, dec.inter_dst),
+        "orig_sha256": _digest(dec.orig_src, dec.orig_dst),
+        "num_inter_directed": dec.num_inter_directed,
+        "num_components": dec.num_components,
+        "num_rounds": dec.num_rounds,
+        "frontier_sizes": dec.frontier_sizes,
+        "edges_inspected": dec.edges_inspected,
+        "dense_rounds": dec.dense_rounds,
+        **_profile_dict(t),
+    }
+
+
+def _profile_dict(t) -> dict:
+    work = {
+        f"{ph}|{kind}": w
+        for ph, kinds in sorted(t.phase_kind_work().items())
+        for kind, w in sorted(kinds.items())
+    }
+    depth = {
+        f"{ph}|{kind}": d
+        for ph, kinds in sorted(t.phase_kind_depth().items())
+        for kind, d in sorted(kinds.items())
+    }
+    return {
+        "sync_count": t.sync_count,
+        "total_work": t.total_work(),
+        "total_depth": t.total_depth(),
+        "work": work,
+        "depth": depth,
+    }
+
+
+def capture_bfs(graph) -> dict:
+    """Pin the BFS family: outputs and cost profiles must not drift."""
+    out = {}
+    with tracking() as t:
+        res = parallel_bfs(graph, 0)
+    out["parallel_bfs"] = {
+        "parents_sha256": _digest(res.parents),
+        "distances_sha256": _digest(res.distances),
+        "num_rounds": res.num_rounds,
+        "num_visited": res.num_visited,
+        **_profile_dict(t),
+    }
+    with tracking() as t:
+        res = hybrid_bfs(graph, 0)
+    out["hybrid_bfs"] = {
+        "parents_sha256": _digest(res.parents),
+        "distances_sha256": _digest(res.distances),
+        "num_rounds": res.num_rounds,
+        "num_visited": res.num_visited,
+        "directions": res.directions,
+        **_profile_dict(t),
+    }
+    with tracking() as t:
+        res = hybrid_bfs_cc(graph)
+    out["hybrid_bfs_cc"] = {
+        "labels_sha256": _digest(res.labels),
+        "num_components": res.num_components,
+        "iterations": res.iterations,
+        **_profile_dict(t),
+    }
+    return out
+
+
+def main() -> None:
+    fixture = {}
+    zoo = _zoo()
+    for gname, graph in zoo.items():
+        for variant in ("min", "arb", "arb-hybrid"):
+            fn = DECOMP_VARIANTS[variant]
+            for beta, seed in COMBOS:
+                key = f"{gname}/{variant}/beta={beta}/seed={seed}"
+                fixture[key] = capture_one(fn, graph, beta, seed)
+    for gname in BFS_GRAPHS:
+        fixture[f"bfs/{gname}"] = capture_bfs(zoo[gname])
+    with open(OUT_PATH, "w") as f:
+        json.dump(fixture, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {len(fixture)} entries to {OUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

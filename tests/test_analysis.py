@@ -51,7 +51,8 @@ class TestGroundTruth:
         G.add_nodes_from(range(g.num_vertices))
         s, d = g.edge_array()
         G.add_edges_from(zip(s.tolist(), d.tolist()))
-        assert np.unique(ground_truth_labels(g)).size == nx.number_connected_components(G)
+        num_cc = nx.number_connected_components(G)
+        assert np.unique(ground_truth_labels(g)).size == num_cc
 
 
 class TestLabelingsEquivalent:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.bfs.frontier import DENSE_THRESHOLD, Frontier
+from repro.bfs.frontier import Frontier
 from repro.bfs.hybrid_bfs import bottom_up_step, hybrid_bfs
 from repro.bfs.parallel_bfs import parallel_bfs
 from repro.graphs.generators import (

@@ -8,6 +8,7 @@ every zoo graph, at several seeds for the randomized ones.
 import numpy as np
 import pytest
 
+from repro.analysis.verify import ground_truth_labels, verify_labeling
 from repro.connectivity import (
     canonicalize_labels,
     decomp_cc,
@@ -19,7 +20,6 @@ from repro.connectivity import (
     serial_sf_cc,
     shiloach_vishkin_cc,
 )
-from repro.analysis.verify import ground_truth_labels, verify_labeling
 
 from tests.conftest import zoo_params
 
@@ -91,5 +91,7 @@ def test_decomp_cc_exponential_schedule(medium_random):
 
 
 def test_decomp_cc_without_dedup(medium_random):
-    result = decomp_cc(medium_random, 0.2, variant="arb", seed=1, remove_duplicates=False)
+    result = decomp_cc(
+        medium_random, 0.2, variant="arb", seed=1, remove_duplicates=False
+    )
     verify_labeling(medium_random, result.labels)

@@ -6,13 +6,7 @@ import pytest
 from repro.decomp import contract, decomp_arb
 from repro.decomp.base import Decomposition
 from repro.errors import GraphFormatError
-from repro.graphs.generators import (
-    clique,
-    disjoint_union_edges,
-    empty_graph,
-    line_graph,
-    random_kregular,
-)
+from repro.graphs.generators import clique, random_kregular
 
 from tests.conftest import zoo_params
 

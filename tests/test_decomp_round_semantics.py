@@ -14,7 +14,7 @@ the same unvisited vertex in the same round.
 import numpy as np
 import pytest
 
-from repro.decomp.base import UNVISITED, DecompState
+from repro.decomp.base import DecompState
 from repro.decomp.decomp_arb import arb_round
 from repro.decomp.decomp_min import _PAIR_INF, min_round
 from repro.graphs.builder import from_edges

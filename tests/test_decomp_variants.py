@@ -10,12 +10,7 @@ import numpy as np
 import pytest
 
 from repro.analysis.verify import verify_decomposition
-from repro.decomp import (
-    contract,
-    decomp_arb,
-    decomp_arb_hybrid,
-    decomp_min,
-)
+from repro.decomp import decomp_arb, decomp_arb_hybrid, decomp_min
 from repro.errors import ParameterError
 from repro.graphs.generators import clique, grid3d, line_graph, random_kregular
 from repro.pram.cost import tracking

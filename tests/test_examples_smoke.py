@@ -4,12 +4,9 @@ Each example's helper functions are imported and exercised at reduced
 sizes; the two fastest examples run end-to-end via ``runpy``.
 """
 
-import runpy
-import sys
 from pathlib import Path
 
 import numpy as np
-import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 

@@ -1,6 +1,5 @@
 """Tests for the experiment registry, harness, tables and figures."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ParameterError

@@ -3,7 +3,6 @@
 import csv
 import json
 
-import pytest
 
 from repro.experiments import export_json, export_series_csv, export_table2_csv
 

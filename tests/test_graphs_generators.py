@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.analysis.verify import ground_truth_labels
 from repro.errors import ParameterError
 from repro.graphs.generators import (
     binary_tree,
@@ -20,7 +21,6 @@ from repro.graphs.generators import (
     rmat_paper,
     star_graph,
 )
-from repro.analysis.verify import ground_truth_labels
 
 
 class TestRandomKRegular:

@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.errors import GraphFormatError
-from repro.graphs.generators import clique, line_graph, random_kregular, star_graph
+from repro.graphs.builder import from_edges
+from repro.graphs.generators import (
+    clique,
+    line_graph,
+    random_kregular,
+    star_graph,
+)
 from repro.graphs.io import load_npz, read_edge_list, save_npz, write_edge_list
 from repro.graphs.ops import (
     degree_statistics,
@@ -13,7 +19,6 @@ from repro.graphs.ops import (
     isolated_vertices,
     relabel_graph,
 )
-from repro.graphs.builder import from_edges
 
 
 class TestRelabelGraph:

@@ -1,6 +1,5 @@
 """Unit tests for the machine timing model."""
 
-import math
 
 import pytest
 

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.errors import ConvergenceError
 from repro.pram.cost import tracking
 from repro.primitives.atomics import (
     PAIR_SHIFT,
@@ -42,7 +41,8 @@ class TestEncodePair:
             encode_pair(np.array([-1]), np.array([0]))
 
     def test_empty(self):
-        assert encode_pair(np.array([], dtype=np.int64), np.array([], dtype=np.int64)).size == 0
+        empty = np.array([], dtype=np.int64)
+        assert encode_pair(empty, empty).size == 0
 
 
 class TestWriteMin:

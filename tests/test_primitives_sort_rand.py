@@ -12,12 +12,7 @@ from repro.primitives.rand import (
     splitmix64,
     uniform_fractions,
 )
-from repro.primitives.sort import (
-    RADIX_BITS,
-    radix_argsort,
-    radix_sort,
-    sort_pairs_by_key,
-)
+from repro.primitives.sort import radix_argsort, radix_sort, sort_pairs_by_key
 
 
 class TestRadixSort:

@@ -7,7 +7,6 @@ structure at every intermediate step.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -1,11 +1,10 @@
 """Property-based tests (hypothesis) for the parallel primitives."""
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
-from hypothesis.extra.numpy import arrays
 
-from repro.primitives.atomics import decode_pair, encode_pair, first_winner, write_min
+from repro.primitives.atomics import encode_pair, first_winner, write_min
 from repro.primitives.hashing import dedup
 from repro.primitives.pack import pack, pack_index
 from repro.primitives.rand import random_permutation
@@ -124,7 +123,10 @@ def test_dedup_equals_set(xs, seed):
     assert len(got) == len(set(xs))
 
 
-@given(st.integers(min_value=0, max_value=500), st.integers(min_value=0, max_value=2**31))
+@given(
+    st.integers(min_value=0, max_value=500),
+    st.integers(min_value=0, max_value=2**31),
+)
 def test_random_permutation_property(n, seed):
     p = random_permutation(n, seed)
     assert sorted(p.tolist()) == list(range(n))

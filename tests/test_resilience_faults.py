@@ -39,7 +39,9 @@ FAULT_MATRIX = {
     "cas_flip": ("cas_flip:p=1.0,max_fires=1000000", _path, "benign"),
     "shift_perturb": ("shift_perturb:holdback=0.9", _path, "benign"),
     "drop_frontier": ("drop_frontier:vertices=10|11", _path, "detected"),
-    "label_corrupt": ("label_corrupt:vertex=3,label_from=30", _two_components, "detected"),
+    "label_corrupt": (
+        "label_corrupt:vertex=3,label_from=30", _two_components, "detected"
+    ),
 }
 
 
