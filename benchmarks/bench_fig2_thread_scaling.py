@@ -16,19 +16,13 @@ import pytest
 from benchmarks.conftest import emit
 from repro.experiments import PAPER_GRAPH_ORDER, ascii_series, fig2_thread_sweep
 
-_SERIES_CACHE = {}
-
-
-def _series(suite, gname):
-    if gname not in _SERIES_CACHE:
-        _SERIES_CACHE[gname] = fig2_thread_sweep(suite[gname], gname)
-    return _SERIES_CACHE[gname]
-
 
 @pytest.mark.parametrize("gname", PAPER_GRAPH_ORDER)
 def test_fig2_panel(benchmark, suite, gname):
+    # fig2_thread_sweep memoizes per (graph, algorithm) cell, so the
+    # repeated panels share work without a bench-local cache.
     series = benchmark.pedantic(
-        lambda: _series(suite, gname), rounds=1, iterations=1
+        lambda: fig2_thread_sweep(suite[gname], gname), rounds=1, iterations=1
     )
     emit(f"FIGURE 2 — time vs threads on {gname}", ascii_series(series))
 

@@ -1,0 +1,236 @@
+"""Wall-clock benchmarking of the execution backends.
+
+The simulated cost model answers "what would this cost on a CRCW
+PRAM?"; this module answers the orthogonal engineering question "how
+long does the NumPy simulation itself take?" — the number the
+``fast`` execution backend (:mod:`repro.engine.backend`) exists to
+shrink.  It times
+
+* the hot kernels in isolation (CAS-race resolution, the stable radix
+  permutation, frontier expansion, hash-table dedup) under each
+  backend, and
+* end-to-end connectivity (``decomp-arb-CC``) on a few paper graphs
+  under each backend, cross-checking that the labelings are
+  bit-identical — timing runs double as parity evidence.
+
+:func:`run_wallclock_suite` packages both into one JSON-shaped dict
+(written to ``BENCH_wallclock.json`` by ``benchmarks/bench_wallclock.py``,
+which also asserts the speedup floor).  See docs/performance.md for how
+to read the output.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.connectivity import decomp_cc
+from repro.engine.backend import (
+    BACKENDS,
+    DEFAULT_BACKEND_NAME,
+    use_backend,
+)
+from repro.engine.workspace import Workspace, make_workspace
+from repro.experiments.registry import build_graph
+from repro.graphs.generators import random_kregular
+from repro.pram.cost import tracking
+from repro.primitives.atomics import first_winner
+from repro.primitives.hashing import dedup
+from repro.primitives.sort import radix_argsort
+
+__all__ = [
+    "DEFAULT_GRAPHS",
+    "best_of",
+    "kernel_microbench",
+    "end_to_end_bench",
+    "run_wallclock_suite",
+    "write_json",
+]
+
+#: End-to-end graphs: the paper input the fast backend targets (rMat's
+#: many components stress every layer), a dense single-component input,
+#: and a mesh.
+DEFAULT_GRAPHS: List[str] = ["rMat", "random", "3D-grid"]
+
+#: Kernel-microbench problem size per scale preset (stream length 2n).
+_SCALE_N = {"tiny": 1 << 14, "small": 1 << 17, "medium": 1 << 20}
+
+
+def best_of(fn: Callable[[], object], repeats: int) -> float:
+    """Best (minimum) wall-clock seconds of *repeats* calls of *fn*.
+
+    Minimum-of-k is the standard noise filter for single-process
+    benchmarks: every source of interference only ever adds time.
+    """
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _timed_backends(
+    make_fn: Callable[[str], Callable[[], object]],
+    repeats: int,
+    backends: Sequence[str],
+) -> Dict[str, float]:
+    """Time one kernel under each backend (one warmup call, then best-of).
+
+    The warmup call lets the fast backend's arena reach steady state —
+    the regime the backend optimizes — and equalizes any one-time NumPy
+    costs for the reference side.
+    """
+    out: Dict[str, float] = {}
+    for name in backends:
+        with use_backend(name):
+            fn = make_fn(name)
+            fn()
+            out[name] = best_of(fn, repeats)
+    return out
+
+
+def kernel_microbench(
+    scale: str = "small",
+    repeats: int = 3,
+    backends: Sequence[str] = ("reference", "fast"),
+    seed: int = 1,
+) -> Dict[str, Dict[str, float]]:
+    """Per-kernel seconds under each backend, plus the speedup ratio.
+
+    Returns ``{kernel: {backend: seconds, ..., "speedup": ref/fast}}``.
+    All kernels compute identical outputs under every backend (pinned
+    by ``tests/test_backend_parity.py``); only the wall-clock differs.
+    """
+    n = _SCALE_N.get(scale, _SCALE_N["small"])
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, n, size=2 * n).astype(np.int64)
+    keys = rng.integers(0, n, size=2 * n).astype(np.int64)
+    graph = random_kregular(n, k=8, seed=seed)
+    frontier = np.arange(n, dtype=np.int64)
+
+    def make_first_winner(name: str) -> Callable[[], object]:
+        ws = make_workspace(BACKENDS[name], n)
+        return lambda: first_winner(idx, workspace=ws)
+
+    def make_argsort(name: str) -> Callable[[], object]:
+        return lambda: radix_argsort(keys, max_key=n - 1)
+
+    def make_expand(name: str) -> Callable[[], object]:
+        ws = Workspace(n) if BACKENDS[name].use_workspace else None
+        return lambda: graph.expand(frontier, workspace=ws)
+
+    def make_dedup(name: str) -> Callable[[], object]:
+        return lambda: dedup(keys)
+
+    kernels = {
+        "first_winner": make_first_winner,
+        "radix_argsort": make_argsort,
+        "expand": make_expand,
+        "hash_dedup": make_dedup,
+    }
+    out: Dict[str, Dict[str, float]] = {}
+    for kname, make_fn in kernels.items():
+        times = _timed_backends(make_fn, repeats, backends)
+        times["speedup"] = (
+            times["reference"] / times["fast"]
+            if times.get("fast", 0.0) > 0 and "reference" in times
+            else float("nan")
+        )
+        out[kname] = times
+    return out
+
+
+def end_to_end_bench(
+    scale: str = "small",
+    repeats: int = 3,
+    graphs: Optional[Sequence[str]] = None,
+    backends: Sequence[str] = ("reference", "fast"),
+    beta: float = 0.2,
+    seed: int = 1,
+) -> Dict[str, Dict[str, float]]:
+    """End-to-end ``decomp-arb-CC`` seconds per graph per backend.
+
+    Each timed run executes under a fresh cost tracker (as profiled
+    runs do).  The labelings produced under every backend are asserted
+    bit-identical before any number is reported — a wrong fast backend
+    can never produce a "speedup".
+    """
+    graphs = list(graphs) if graphs is not None else list(DEFAULT_GRAPHS)
+    out: Dict[str, Dict[str, float]] = {}
+    for gname in graphs:
+        graph = build_graph(gname, scale)
+        labels: Dict[str, np.ndarray] = {}
+
+        def make_run(name: str) -> Callable[[], object]:
+            def run():
+                with tracking():
+                    result = decomp_cc(graph, beta=beta, seed=seed)
+                labels[name] = result.labels
+                return result
+
+            return run
+
+        times = _timed_backends(make_run, repeats, backends)
+        first, *rest = backends
+        for other in rest:
+            if not np.array_equal(labels[first], labels[other]):
+                raise AssertionError(
+                    f"backend parity violated on {gname}: "
+                    f"{first} and {other} labelings differ"
+                )
+        times["speedup"] = (
+            times["reference"] / times["fast"]
+            if times.get("fast", 0.0) > 0 and "reference" in times
+            else float("nan")
+        )
+        out[gname] = times
+    return out
+
+
+def run_wallclock_suite(
+    scale: str = "small",
+    repeats: int = 3,
+    graphs: Optional[Sequence[str]] = None,
+    backends: Sequence[str] = ("reference", "fast"),
+    beta: float = 0.2,
+    seed: int = 1,
+) -> Dict[str, object]:
+    """The full wall-clock trajectory: kernels + end-to-end, one dict.
+
+    JSON-shaped; ``benchmarks/bench_wallclock.py`` writes it to
+    ``BENCH_wallclock.json`` and asserts the speedup floors.
+    """
+    return {
+        "meta": {
+            "scale": scale,
+            "repeats": repeats,
+            "beta": beta,
+            "seed": seed,
+            "backends": list(backends),
+            "default_backend": DEFAULT_BACKEND_NAME,
+            "algorithm": "decomp-arb-CC",
+            "timer": "best-of wall clock (time.perf_counter)",
+        },
+        "kernels": kernel_microbench(
+            scale=scale, repeats=repeats, backends=backends, seed=seed
+        ),
+        "end_to_end": end_to_end_bench(
+            scale=scale,
+            repeats=repeats,
+            graphs=graphs,
+            backends=backends,
+            beta=beta,
+            seed=seed,
+        ),
+    }
+
+
+def write_json(payload: Dict[str, object], path: str) -> None:
+    """Write *payload* as stable, human-diffable JSON."""
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")

@@ -17,7 +17,10 @@ Gives shell access to the whole reproduction:
 ``figure {2,3,4,5,6,7,8}``
     Regenerate one of the paper's figures as ASCII series.
 
-All commands accept ``--scale {tiny,small,medium}`` (default small).
+All commands accept ``--scale {tiny,small,medium}`` (default small) and
+``--backend {reference,fast}`` (default fast) — the execution backend
+changes wall-clock speed only, never results or simulated costs (see
+docs/performance.md).
 
 ``run`` and ``table2`` additionally take the resilience options
 (``--retries``, ``--inject-fault``; ``table2`` also ``--checkpoint`` /
@@ -32,6 +35,11 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.engine.backend import (
+    BACKENDS,
+    DEFAULT_BACKEND_NAME,
+    set_default_backend,
+)
 from repro.errors import ParameterError, ReproError
 from repro.experiments import (
     ALGORITHMS,
@@ -70,6 +78,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["tiny", "small", "medium"],
         default="small",
         help="input size preset (default: small)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default=DEFAULT_BACKEND_NAME,
+        help="execution backend: same results and simulated costs either "
+        "way, 'fast' avoids per-round allocation/sorting wall-clock waste "
+        f"(default: {DEFAULT_BACKEND_NAME}; see docs/performance.md)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -366,6 +382,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     bugs.
     """
     args = build_parser().parse_args(argv)
+    set_default_backend(args.backend)
     try:
         return _COMMANDS[args.command](args)
     except ReproError as exc:

@@ -30,10 +30,12 @@ from typing import List
 import numpy as np
 
 from repro.connectivity.base import ConnectivityResult
+from repro.engine.backend import current_backend
 from repro.engine.core import UNVISITED, TraversalEngine
 from repro.engine.direction import LigraEdgeHybrid
 from repro.engine.frontier import DENSE_THRESHOLD
 from repro.engine.state import ComponentLabelState
+from repro.engine.workspace import make_workspace
 from repro.graphs.csr import CSRGraph
 from repro.pram.cost import current_tracker
 
@@ -50,13 +52,16 @@ def bfs_from_source(
     labels: np.ndarray,
     label: int,
     dense_threshold: float = DENSE_THRESHOLD,
+    workspace=None,
 ) -> int:
     """Label *source*'s component with *label* via hybrid BFS.
 
     Mutates *labels* (entries must be ``-1`` where unvisited); returns
-    the number of vertices labeled, including the source.
+    the number of vertices labeled, including the source.  *workspace*
+    lets a caller looping over components share one execution arena
+    across all the per-component runs.
     """
-    state = ComponentLabelState(graph, source, labels, label)
+    state = ComponentLabelState(graph, source, labels, label, workspace=workspace)
     TraversalEngine(
         state, direction=LigraEdgeHybrid(graph, threshold=dense_threshold)
     ).run()
@@ -75,6 +80,9 @@ def hybrid_bfs_cc(
     n = graph.num_vertices
     labels = np.full(n, _UNLABELED, dtype=np.int64)
     tracker.add("alloc", work=float(n), depth=1.0)
+    # One arena for the whole run: rMat-style graphs have millions of
+    # components, and a per-component workspace would never amortize.
+    workspace = make_workspace(current_backend(), n)
 
     num_components = 0
     component_sizes: List[int] = []
@@ -88,7 +96,8 @@ def hybrid_bfs_cc(
         if cursor >= n:
             break
         size = bfs_from_source(
-            graph, cursor, labels, num_components, dense_threshold
+            graph, cursor, labels, num_components, dense_threshold,
+            workspace=workspace,
         )
         component_sizes.append(size)
         visited_total += size

@@ -24,8 +24,10 @@ from typing import List, Optional
 import numpy as np
 
 from repro.decomp.shifts import ShiftSchedule
+from repro.engine.backend import current_backend
 from repro.engine.core import UNVISITED, TraversalEngine, TraversalState, end_round
 from repro.engine.kernels import dense_round, filter_edges
+from repro.engine.workspace import make_workspace
 from repro.errors import ParameterError
 from repro.graphs.csr import CSRGraph
 from repro.pram.cost import current_tracker
@@ -144,6 +146,11 @@ class DecompState(TraversalState):
             )
             self.C = np.full(n, UNVISITED, dtype=np.int64)
             tracker.add("alloc", work=float(n), depth=1.0)
+        # Execution-backend arena: the round kernels route their
+        # scratch arrays through this (a NullWorkspace under the
+        # reference backend).  Never charged — it changes how rounds
+        # run, not what they compute or cost.
+        self.workspace = make_workspace(current_backend(), n)
         self.frontier = np.zeros(0, dtype=np.int64)
         self.consumed = 0
         self.visited = 0

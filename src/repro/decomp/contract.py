@@ -25,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.decomp.base import Decomposition
+from repro.engine.backend import current_backend
 from repro.errors import GraphFormatError
 from repro.graphs.builder import from_directed_edges
 from repro.graphs.csr import CSRGraph
@@ -186,8 +187,16 @@ def contract(
     sub_to_component = np.flatnonzero(touched).astype(np.int64)
 
     # --- 4. build the contracted CSR graph. --------------------------
+    # The renamed endpoints are in [0, k') by construction, so the fast
+    # backend skips re-validating them (and the CSR invariants) at
+    # every recursion level; the reference backend re-validates as the
+    # historical code did.
     sub_graph = from_directed_edges(
-        component_to_sub[src], component_to_sub[dst], k_prime, symmetric=True
+        component_to_sub[src],
+        component_to_sub[dst],
+        k_prime,
+        symmetric=True,
+        validate=not current_backend().trusted_contraction,
     )
     return Contraction(
         graph=sub_graph,

@@ -25,6 +25,15 @@ plus a :class:`TraversalState` subclass holding the algorithm's arrays
 and round kernels.  See ``docs/api.md`` for writing custom policies.
 """
 
+from repro.engine.backend import (
+    BACKENDS,
+    DEFAULT_BACKEND_NAME,
+    ExecutionBackend,
+    current_backend,
+    resolve_backend,
+    set_default_backend,
+    use_backend,
+)
 from repro.engine.core import (
     UNVISITED,
     TraversalEngine,
@@ -56,8 +65,25 @@ from repro.engine.tiebreak import (
     TiebreakPolicy,
     register_tiebreak_policy,
 )
+from repro.engine.workspace import (
+    NULL_WORKSPACE,
+    NullWorkspace,
+    Workspace,
+    make_workspace,
+)
 
 __all__ = [
+    "ExecutionBackend",
+    "BACKENDS",
+    "DEFAULT_BACKEND_NAME",
+    "current_backend",
+    "resolve_backend",
+    "set_default_backend",
+    "use_backend",
+    "Workspace",
+    "NullWorkspace",
+    "NULL_WORKSPACE",
+    "make_workspace",
     "TraversalEngine",
     "TraversalState",
     "end_round",

@@ -56,10 +56,16 @@ class Frontier:
         num_vertices: int,
         vertices: Optional[np.ndarray] = None,
         bitmap: Optional[np.ndarray] = None,
+        workspace=None,
     ) -> None:
         if (vertices is None) == (bitmap is None):
             raise ValueError("provide exactly one of vertices / bitmap")
         self.num_vertices = num_vertices
+        #: Optional :mod:`~repro.engine.workspace` arena; when present,
+        #: the dense conversion reuses its bitmap buffer across rounds
+        #: instead of allocating one per round.  A frontier lives for
+        #: one round, so the buffer is requested at most once per round.
+        self.workspace = workspace
         self._vertices = (
             np.asarray(vertices, dtype=np.int64) if vertices is not None else None
         )
@@ -73,8 +79,10 @@ class Frontier:
     # -- constructors ------------------------------------------------------
 
     @classmethod
-    def from_vertices(cls, num_vertices: int, vertices: np.ndarray) -> "Frontier":
-        return cls(num_vertices, vertices=vertices)
+    def from_vertices(
+        cls, num_vertices: int, vertices: np.ndarray, workspace=None
+    ) -> "Frontier":
+        return cls(num_vertices, vertices=vertices, workspace=workspace)
 
     @classmethod
     def empty(cls, num_vertices: int) -> "Frontier":
@@ -115,7 +123,10 @@ class Frontier:
                 work=float(self._vertices.size),
                 depth=1.0,
             )
-            bitmap = np.zeros(self.num_vertices, dtype=bool)
+            if self.workspace is not None:
+                bitmap = self.workspace.falses("frontier.bitmap", self.num_vertices)
+            else:
+                bitmap = np.zeros(self.num_vertices, dtype=bool)
             bitmap[self._vertices] = True
             self._bitmap = bitmap
         return self._bitmap

@@ -8,6 +8,16 @@ is the read-based sweep shared by the BFS family.  The variant modules
 re-export them under their historical names, and the engine's policy
 objects dispatch to them.
 
+Execution-backend note: every array operation goes through the state's
+:mod:`~repro.engine.workspace` — a :class:`~repro.engine.workspace.
+NullWorkspace` (reference backend) makes each one the historical fresh
+allocation, a real :class:`~repro.engine.workspace.Workspace` (fast
+backend) writes into reused arena slices.  The kernels also resolve
+the ambient cost tracker and fault plan once per round and pass them
+into the primitives, so the innermost loops perform no repeated
+context-var reads.  Anything that outlives the round (winners, kept
+inter-edge chunks) is produced as a fresh array, never an arena view.
+
 Cost parity note: each kernel charges exactly what its pre-engine
 counterpart charged; the only intentional change is that every
 end-of-round barrier is routed through
@@ -24,9 +34,16 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.engine.core import UNVISITED, end_round
+from repro.engine.workspace import NULL_WORKSPACE
 from repro.pram.cost import current_tracker
-from repro.primitives.atomics import decode_pair, encode_pair, first_winner, write_min
+from repro.primitives.atomics import (
+    PAIR_SHIFT,
+    encode_pair,
+    first_winner,
+    write_min,
+)
 from repro.primitives.pack import pack_index
+from repro.resilience.faults import active_fault_plan
 
 __all__ = [
     "arb_round",
@@ -40,6 +57,10 @@ __all__ = [
 #: writeMin identity for the merged (delta', center) pair array.
 _PAIR_INF = np.int64((1 << 62) - 1)
 
+#: Payload half of an encoded (priority, payload) pair (the component
+#: id Decomp-Min's phase 2 reads back out of the writeMin cell).
+_PAIR_PAYLOAD_MASK = np.int64((1 << PAIR_SHIFT) - 1)
+
 
 def arb_round(state) -> np.ndarray:
     """One Decomp-Arb BFS round over the current frontier.
@@ -48,20 +69,27 @@ def arb_round(state) -> np.ndarray:
     ``state.C`` and appends surviving inter-edges.
     """
     tracker = current_tracker()
+    plan = active_fault_plan()
+    ws = state.workspace
     graph, C = state.graph, state.C
-    src, dst = graph.expand(state.frontier)
+    src, dst = graph.expand(state.frontier, workspace=ws)
     state.edges_inspected += int(src.size)
     if src.size == 0:
         end_round()
         return np.zeros(0, dtype=np.int64)
-    cu = C[src]
-    cw = C[dst]
+    cu = ws.take(C, src, "arb.cu")
+    cw = ws.take(C, dst, "arb.cw")
     tracker.add("gather", work=float(2 * src.size), depth=1.0)
 
     # CAS races on unvisited targets: one arbitrary winner each.
-    unvis = cw == UNVISITED
+    unvis = ws.equal(cw, UNVISITED, "arb.unvis")
     unvis_pos = np.flatnonzero(unvis)
-    win_local, winners = first_winner(dst[unvis_pos])
+    win_local, winners = first_winner(
+        ws.take(dst, unvis_pos, "arb.race"),
+        workspace=ws,
+        tracker=tracker,
+        plan=plan,
+    )
     win_pos = unvis_pos[win_local]
     C[winners] = cu[win_pos]
     tracker.add("scatter", work=float(winners.size), depth=1.0)
@@ -70,56 +98,69 @@ def arb_round(state) -> np.ndarray:
     # All non-winning edges can be classified immediately: the winner's
     # component id is visible to the losers of the race (Algorithm 3
     # lines 16-19), and previously visited targets carry their label.
-    is_winner_edge = np.zeros(src.size, dtype=bool)
+    is_winner_edge = ws.falses("arb.winmask", int(src.size))
     is_winner_edge[win_pos] = True
-    rest = ~is_winner_edge
-    cw_now = C[dst[rest]]
-    cu_rest = cu[rest]
+    rest = ws.logical_not(is_winner_edge, "arb.rest")
+    dst_rest = ws.compress(rest, dst, "arb.dstrest")
+    cw_now = ws.take(C, dst_rest, "arb.cwnow")
+    cu_rest = ws.compress(rest, cu, "arb.curest")
     tracker.add("gather", work=float(cu_rest.size), depth=1.0)
-    inter = cw_now != cu_rest
+    inter = ws.not_equal(cw_now, cu_rest, "arb.inter")
+    src_rest = ws.compress(rest, src, "arb.srcrest")
     state.keep_inter(
-        cu_rest[inter], cw_now[inter], src[rest][inter], dst[rest][inter]
+        cu_rest[inter], cw_now[inter], src_rest[inter], dst_rest[inter]
     )
     # End-of-round packing of kept edges / next frontier.
     end_round(int(src.size))
     return winners
 
 
-def min_round(state, pair: np.ndarray) -> np.ndarray:
+def min_round(state, pair: np.ndarray, trusted_keys: bool = False) -> np.ndarray:
     """One Decomp-Min round: writeMin phase, barrier, claim phase.
 
     *pair* is the per-vertex merged (delta', center) writeMin cell
     (the first element of the paper's C pairs); ``state.C`` plays the
     role of the second element (the component id).  Returns the next
-    frontier.
+    frontier.  ``trusted_keys`` skips the per-round pair-encoding range
+    scans (the fast backend's tie-break policy proves the whole domain
+    once at setup).
     """
     tracker = current_tracker()
+    plan = active_fault_plan()
+    ws = state.workspace
     graph, C = state.graph, state.C
     frac = state.schedule.frac
 
     # ---- Phase 1: writeMin marking + classification of visited targets.
     with tracker.phase("bfsPhase1"):
-        src, dst = graph.expand(state.frontier)
+        src, dst = graph.expand(state.frontier, workspace=ws)
         state.edges_inspected += int(src.size)
         if src.size == 0:
             end_round()
             return np.zeros(0, dtype=np.int64)
-        cu = C[src]
-        cw = C[dst]
+        cu = ws.take(C, src, "min.cu")
+        cw = ws.take(C, dst, "min.cw")
         # 3 words per edge: the source's component plus the target's
         # (conflict-value, componentID) *pair* — the extra word per
         # vertex visit the paper's pair layout trades for one fewer
         # cache miss than a two-array layout would cost.
         tracker.add("gather", work=float(3 * src.size), depth=1.0)
 
-        unvis = cw == UNVISITED
+        unvis = ws.equal(cw, UNVISITED, "min.unvis")
+        unvis_pos = np.flatnonzero(unvis)
         # writeMin((delta'_{C[u]}, C[u])) onto every unvisited target.
-        keys = encode_pair(frac[cu[unvis]], cu[unvis])
-        write_min(pair, dst[unvis], keys)
+        cu_unvis = ws.take(cu, unvis_pos, "min.cuunvis")
+        keys = ws.take(frac, cu_unvis, "min.keys")
+        keys = encode_pair(keys, cu_unvis, check=not trusted_keys, out=keys)
+        write_min(
+            pair, ws.take(dst, unvis_pos, "min.dstunvis"), keys, tracker=tracker
+        )
 
         # Edges to visited targets resolve now: inter iff labels differ.
-        vis_pos = np.flatnonzero(~unvis)
-        inter_vis = cw[vis_pos] != cu[vis_pos]
+        vis_pos = np.flatnonzero(ws.logical_not(unvis, "min.vis"))
+        cw_vis = ws.take(cw, vis_pos, "min.cwvis")
+        cu_vis = ws.take(cu, vis_pos, "min.cuvis")
+        inter_vis = ws.not_equal(cw_vis, cu_vis, "min.intervis")
         keep_pos = vis_pos[inter_vis]
         state.keep_inter(cu[keep_pos], cw[keep_pos], src[keep_pos], dst[keep_pos])
         # Phase-1 output compaction (the paper's in-place E overwrite).
@@ -127,7 +168,6 @@ def min_round(state, pair: np.ndarray) -> np.ndarray:
 
     # ---- Phase 2: losers classify, winners claim (one CAS per target).
     with tracker.phase("bfsPhase2"):
-        unvis_pos = np.flatnonzero(unvis)
         # The paper's phase 2 re-reads every edge kept by phase 1: the
         # unresolved (unvisited-target) ones — whose merged pair is two
         # words — plus the already-classified inter edges, skipped via
@@ -140,16 +180,19 @@ def min_round(state, pair: np.ndarray) -> np.ndarray:
         if unvis_pos.size == 0:
             end_round()
             return np.zeros(0, dtype=np.int64)
-        targets = dst[unvis_pos]
-        merged = pair[targets]
-        _, winner_center = decode_pair(merged)
-        mine = cu[unvis_pos]
-        won = winner_center == mine
+        targets = ws.take(dst, unvis_pos, "min.targets")
+        merged = ws.take(pair, targets, "min.merged")
+        winner_center = ws.bitand(merged, _PAIR_PAYLOAD_MASK, "min.wcenter")
+        mine = ws.take(cu, unvis_pos, "min.mine")
+        won = ws.equal(winner_center, mine, "min.won")
 
         # Winning component's vertices race one CAS to add w once.
-        win_targets = targets[won]
-        first_pos, new_vertices = first_winner(win_targets)
-        C[new_vertices] = winner_center[won][first_pos]
+        win_targets = ws.compress(won, targets, "min.wintargets")
+        first_pos, new_vertices = first_winner(
+            win_targets, workspace=ws, tracker=tracker, plan=plan
+        )
+        wc_won = ws.compress(won, winner_center, "min.wcwon")
+        C[new_vertices] = wc_won[first_pos]
         # Mark claimed cells so later writeMins cannot touch them
         # (the paper sets C1[w] = -1; our pair array is per-DECOMP and
         # claimed vertices are excluded by C[w] != UNVISITED instead).
@@ -158,7 +201,9 @@ def min_round(state, pair: np.ndarray) -> np.ndarray:
 
         # Losers: inter-component iff the winner differs (it does, by
         # definition of losing) — matches Algorithm 2 lines 32-35.
-        lose_pos = unvis_pos[~won]
+        lose_pos = ws.compress(
+            ws.logical_not(won, "min.lost"), unvis_pos, "min.losepos"
+        )
         state.keep_inter(
             cu[lose_pos], C[dst[lose_pos]], src[lose_pos], dst[lose_pos]
         )
@@ -176,22 +221,29 @@ def dense_round(state) -> np.ndarray:
     neighbor in adjacency order (a legal arbitrary-CRCW schedule).
     """
     tracker = current_tracker()
+    plan = active_fault_plan()
+    ws = state.workspace
     graph, C = state.graph, state.C
 
-    on_frontier = np.zeros(state.n, dtype=bool)
+    on_frontier = ws.falses("dense.onfrontier", state.n)
     on_frontier[state.frontier] = True
     tracker.add("scatter", work=float(state.frontier.size), depth=1.0)
 
-    unvisited = pack_index(C == UNVISITED)
+    unvisited = pack_index(ws.equal(C, UNVISITED, "dense.unvis"))
     if unvisited.size == 0:
         end_round()
         return np.zeros(0, dtype=np.int64)
     # charge_cost=False: only the early-exit edge count below is charged.
-    src, dst = graph.expand(unvisited, charge_cost=False)
-    hit = on_frontier[dst]
+    src, dst = graph.expand(unvisited, charge_cost=False, workspace=ws)
+    hit = ws.take(on_frontier, dst, "dense.hit")
     hit_positions = np.flatnonzero(hit)
     if hit_positions.size:
-        first_pos, winners = first_winner(src[hit_positions])
+        first_pos, winners = first_winner(
+            ws.take(src, hit_positions, "dense.race"),
+            workspace=ws,
+            tracker=tracker,
+            plan=plan,
+        )
         adopted_from = dst[hit_positions[first_pos]]
         C[winners] = C[adopted_from]
         tracker.add("scatter", work=float(winners.size), depth=1.0)
@@ -202,9 +254,13 @@ def dense_round(state) -> np.ndarray:
     # Early-exit accounting: edges scanned up to the first hit (or the
     # whole list when there is none) — this is the work the paper's
     # read-based sweep saves over the write-based one.
-    counts = graph.offsets[unvisited + 1] - graph.offsets[unvisited]
-    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
-    scanned = counts.astype(np.float64)
+    counts = ws.sub(
+        ws.take(graph.offsets, unvisited + 1, "dense.offs1"),
+        ws.take(graph.offsets, unvisited, "dense.offs0"),
+        "dense.counts",
+    )
+    starts = ws.exclusive_cumsum(counts, "dense.starts")
+    scanned = ws.as_float(counts, "dense.scanned")
     if hit_positions.size:
         order = np.searchsorted(unvisited, winners)
         scanned[order] = (hit_positions[first_pos] - starts[order] + 1).astype(
@@ -232,12 +288,13 @@ def filter_edges(state, deferred: List[np.ndarray]) -> None:
     if vertices.size == 0:
         return
     C = state.C
-    src, dst = state.graph.expand(vertices)
+    ws = state.workspace
+    src, dst = state.graph.expand(vertices, workspace=ws)
     state.edges_inspected += int(src.size)
-    cu = C[src]
-    cw = C[dst]
+    cu = ws.take(C, src, "filter.cu")
+    cw = ws.take(C, dst, "filter.cw")
     tracker.add("scan", work=float(2 * src.size), depth=1.0)
-    inter = cu != cw
+    inter = ws.not_equal(cu, cw, "filter.inter")
     state.keep_inter(cu[inter], cw[inter], src[inter], dst[inter])
     end_round(int(src.size))
 
@@ -246,6 +303,7 @@ def bottom_up_step(
     graph,
     frontier_bitmap: np.ndarray,
     visited: np.ndarray,
+    workspace=None,
 ) -> Tuple[np.ndarray, np.ndarray, int]:
     """One read-based (bottom-up) BFS round.
 
@@ -256,29 +314,40 @@ def bottom_up_step(
     the quantity the cost model charges.
     """
     tracker = current_tracker()
-    unvisited = pack_index(~visited)
+    plan = active_fault_plan()
+    ws = workspace if workspace is not None else NULL_WORKSPACE
+    unvisited = pack_index(ws.logical_not(visited, "bu.notvis"))
     if unvisited.size == 0:
         return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64), 0
     # charge_cost=False: only the early-exit edge count below is charged.
-    src, dst = graph.expand(unvisited, charge_cost=False)
-    hit = frontier_bitmap[dst]
+    src, dst = graph.expand(unvisited, charge_cost=False, workspace=ws)
+    hit = ws.take(frontier_bitmap, dst, "bu.hit")
     # First frontier-neighbor per source, exploiting expand()'s grouped,
     # adjacency-ordered layout: the first occurrence of each source
     # among the hits is its earliest hit.
     hit_positions = np.flatnonzero(hit)
-    first_pos, winners = first_winner(src[hit_positions]) if hit_positions.size else (
-        np.zeros(0, dtype=np.int64),
-        np.zeros(0, dtype=np.int64),
-    )
-    parent_of_winner = dst[hit_positions[first_pos]] if hit_positions.size else (
-        np.zeros(0, dtype=np.int64)
-    )
+    if hit_positions.size:
+        first_pos, winners = first_winner(
+            ws.take(src, hit_positions, "bu.race"),
+            workspace=ws,
+            tracker=tracker,
+            plan=plan,
+        )
+        parent_of_winner = dst[hit_positions[first_pos]]
+    else:
+        first_pos = np.zeros(0, dtype=np.int64)
+        winners = np.zeros(0, dtype=np.int64)
+        parent_of_winner = np.zeros(0, dtype=np.int64)
 
     # Early-exit cost: edges scanned = (position of first hit within the
     # source's slice) + 1, or the full degree when there is no hit.
-    counts = graph.offsets[unvisited + 1] - graph.offsets[unvisited]
-    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
-    scanned = counts.astype(np.float64)
+    counts = ws.sub(
+        ws.take(graph.offsets, unvisited + 1, "bu.offs1"),
+        ws.take(graph.offsets, unvisited, "bu.offs0"),
+        "bu.counts",
+    )
+    starts = ws.exclusive_cumsum(counts, "bu.starts")
+    scanned = ws.as_float(counts, "bu.scanned")
     if winners.size:
         # Map winner vertex id -> its index within `unvisited` to find
         # the slice start of each winner.

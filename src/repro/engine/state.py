@@ -35,11 +35,14 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.engine.backend import current_backend
 from repro.engine.core import UNVISITED, TraversalEngine, TraversalState, end_round
 from repro.engine.frontier import Frontier
 from repro.engine.kernels import bottom_up_step
+from repro.engine.workspace import make_workspace
 from repro.pram.cost import current_tracker
 from repro.primitives.atomics import first_winner
+from repro.resilience.faults import active_fault_plan
 
 __all__ = ["BFSTreeState", "ComponentLabelState"]
 
@@ -85,7 +88,10 @@ class BFSTreeState(TraversalState):
             self.visited[source] = True
         self.num_visited = 1
         self.directions: List[str] = []
-        self._frontier = Frontier.from_vertices(n, np.zeros(0, dtype=np.int64))
+        self.workspace = make_workspace(current_backend(), n)
+        self._frontier = Frontier.from_vertices(
+            n, np.zeros(0, dtype=np.int64), workspace=self.workspace
+        )
 
     @property
     def n(self) -> int:
@@ -109,7 +115,9 @@ class BFSTreeState(TraversalState):
     def begin_round(self, engine: TraversalEngine, next_frontier: np.ndarray) -> None:
         if self.budget is not None:
             self.budget.check(self.round)
-        self._frontier = Frontier.from_vertices(self.n, next_frontier)
+        self._frontier = Frontier.from_vertices(
+            self.n, next_frontier, workspace=self.workspace
+        )
 
     def _absorb(self, winners: np.ndarray) -> None:
         # The claim's bookkeeping writes ride along with the parent
@@ -121,16 +129,28 @@ class BFSTreeState(TraversalState):
 
     def push_round(self, engine: TraversalEngine) -> np.ndarray:
         tracker = current_tracker()
+        plan = active_fault_plan()
+        ws = self.workspace
         self.directions.append("top-down")
-        src, dst = self.graph.expand(self.frontier)
+        src, dst = self.graph.expand(self.frontier, workspace=ws)
         if self.visited is not None:
-            fresh = ~self.visited[dst]
+            fresh = ws.logical_not(
+                ws.take(self.visited, dst, "bfs.vis"), "bfs.fresh"
+            )
         else:
-            fresh = self.distances[dst] == UNVISITED
+            fresh = ws.equal(
+                ws.take(self.distances, dst, "bfs.dist"), UNVISITED, "bfs.fresh"
+            )
         tracker.add("gather", work=float(dst.size), depth=1.0)
         # CAS race: one arbitrary winner per newly discovered vertex.
-        win_pos, winners = first_winner(dst[fresh])
-        self.parents[winners] = src[fresh][win_pos]
+        win_pos, winners = first_winner(
+            ws.compress(fresh, dst, "bfs.race"),
+            workspace=ws,
+            tracker=tracker,
+            plan=plan,
+        )
+        src_fresh = ws.compress(fresh, src, "bfs.srcfresh")
+        self.parents[winners] = src_fresh[win_pos]
         tracker.add("scatter", work=float(winners.size), depth=1.0)
         self._absorb(winners)
         end_round(packing="unit")
@@ -140,7 +160,10 @@ class BFSTreeState(TraversalState):
         self.directions.append("bottom-up")
         assert self.visited is not None, "pull requires track_visited=True"
         winners, parent_of, _examined = bottom_up_step(
-            self.graph, self._frontier.as_bitmap(), self.visited
+            self.graph,
+            self._frontier.as_bitmap(),
+            self.visited,
+            workspace=self.workspace,
         )
         self.parents[winners] = parent_of
         self._absorb(winners)
@@ -158,12 +181,20 @@ class ComponentLabelState(TraversalState):
     """
 
     def __init__(self, graph, source: int, labels: np.ndarray, label: int,
-                 budget=None) -> None:
+                 budget=None, workspace=None) -> None:
         self.graph = graph
         self.source = source
         self.labels = labels
         self.label = np.int64(label)
         self.budget = budget
+        # Callers looping over components should create one workspace
+        # per graph and pass it in, so the arena persists across the
+        # per-component runs instead of being rebuilt for each.
+        self.workspace = (
+            workspace
+            if workspace is not None
+            else make_workspace(current_backend(), graph.num_vertices)
+        )
         labels[source] = self.label
         self.count = 1
         self._frontier = np.zeros(0, dtype=np.int64)
@@ -200,25 +231,37 @@ class ComponentLabelState(TraversalState):
 
     def push_round(self, engine: TraversalEngine) -> np.ndarray:
         tracker = current_tracker()
-        src, dst = self.graph.expand(self._frontier)
-        fresh = self.labels[dst] == UNVISITED
+        plan = active_fault_plan()
+        ws = self.workspace
+        src, dst = self.graph.expand(self._frontier, workspace=ws)
+        fresh = ws.equal(
+            ws.take(self.labels, dst, "cc.lab"), UNVISITED, "cc.fresh"
+        )
         tracker.add("gather", work=float(dst.size), depth=1.0)
-        _pos, winners = first_winner(dst[fresh])
+        _pos, winners = first_winner(
+            ws.compress(fresh, dst, "cc.race"),
+            workspace=ws,
+            tracker=tracker,
+            plan=plan,
+        )
         self._claim(winners)
         end_round(packing="unit")
         return winners
 
     def pull_round(self, engine: TraversalEngine) -> np.ndarray:
         tracker = current_tracker()
+        ws = self.workspace
         n = self.n
-        visited = self.labels != UNVISITED
+        visited = ws.not_equal(self.labels, UNVISITED, "cc.visited")
         tracker.add("scan", work=float(n), depth=1.0)
         # The frontier byte array is preallocated and reused in a
         # Ligra-style implementation, so (as in the seed) building it
         # is not charged as a scatter here.
-        bitmap = np.zeros(n, dtype=bool)
+        bitmap = ws.falses("cc.bitmap", n)
         bitmap[self._frontier] = True
-        winners, _parents, _examined = bottom_up_step(self.graph, bitmap, visited)
+        winners, _parents, _examined = bottom_up_step(
+            self.graph, bitmap, visited, workspace=ws
+        )
         self._claim(winners)
         end_round(packing="unit")
         return winners

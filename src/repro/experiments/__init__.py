@@ -17,6 +17,7 @@ from repro.experiments.export import (
 )
 from repro.experiments.figures import (
     ascii_series,
+    clear_fig2_cache,
     fig2_thread_sweep,
     fig3_beta_sweep,
     fig4_edges_remaining,
@@ -66,6 +67,7 @@ __all__ = [
     "export_series_csv",
     "export_table2_csv",
     "fallback_chain",
+    "clear_fig2_cache",
     "fig2_thread_sweep",
     "fig3_beta_sweep",
     "fig4_edges_remaining",

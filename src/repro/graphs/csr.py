@@ -70,6 +70,27 @@ class CSRGraph:
         if targets.size and (targets.min() < 0 or targets.max() >= n):
             raise GraphFormatError("edge target out of range [0, n)")
 
+    @classmethod
+    def trusted(
+        cls, offsets: np.ndarray, targets: np.ndarray, symmetric: bool = True
+    ) -> "CSRGraph":
+        """Construct without validation — internally generated CSR only.
+
+        The contraction recursion builds each level's sub-graph from
+        arrays whose invariants it just established (contiguous int64,
+        offsets from a prefix sum, targets from a renaming into
+        ``[0, k')``); re-running the O(m) scans of ``__post_init__``
+        per level is pure wall-clock waste, which the fast execution
+        backend skips through this path.  Public builders and anything
+        consuming external data must go through the validating
+        constructor.
+        """
+        graph = object.__new__(cls)
+        object.__setattr__(graph, "offsets", offsets)
+        object.__setattr__(graph, "targets", targets)
+        object.__setattr__(graph, "symmetric", symmetric)
+        return graph
+
     # -- sizes -------------------------------------------------------------
 
     @property
@@ -114,7 +135,10 @@ class CSRGraph:
     # -- frontier expansion --------------------------------------------------
 
     def expand(
-        self, frontier: np.ndarray, charge_cost: bool = True
+        self,
+        frontier: np.ndarray,
+        charge_cost: bool = True,
+        workspace=None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Gather the out-edges of every frontier vertex, vectorized.
 
@@ -127,7 +151,9 @@ class CSRGraph:
         sum computing per-vertex output offsets — the paper's
         "packing the frontiers").
 
-        The returned arrays are freshly allocated; callers may mutate.
+        Without a *workspace* the returned arrays are freshly
+        allocated; with one, they are arena views valid until the next
+        round's expansion — callers may mutate either way.
 
         ``charge_cost=False`` suppresses the cost accounting — used by
         the read-based (bottom-up) sweeps, which on a real machine exit
@@ -149,11 +175,18 @@ class CSRGraph:
                 work=float(frontier.size),
                 depth=float(max(1, int(np.ceil(np.log2(frontier.size + 1))))),
             )
-        edge_sources = np.repeat(frontier, counts)
-        # Vectorized ragged gather: global positions of each frontier edge.
-        pos = np.repeat(starts - np.concatenate(([0], np.cumsum(counts)[:-1])), counts)
-        pos = pos + np.arange(total, dtype=np.int64)
-        edge_targets = self.targets[pos]
+        if workspace is None:
+            edge_sources = np.repeat(frontier, counts)
+            # Vectorized ragged gather: global positions of each edge.
+            pos = np.repeat(
+                starts - np.concatenate(([0], np.cumsum(counts)[:-1])), counts
+            )
+            pos = pos + np.arange(total, dtype=np.int64)
+            edge_targets = self.targets[pos]
+        else:
+            edge_sources = workspace.repeat(frontier, counts, total, "expand.src")
+            pos = workspace.ragged_positions(starts, counts, total, "expand.pos")
+            edge_targets = workspace.take(self.targets, pos, "expand.dst")
         return edge_sources, edge_targets
 
     # -- misc ------------------------------------------------------------

@@ -20,7 +20,7 @@ work per write attempt.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -41,22 +41,44 @@ __all__ = [
 PAIR_SHIFT = 31
 _PAIR_MASK = (1 << PAIR_SHIFT) - 1
 
+#: Sentinel distinguishing "not passed" from "no plan" (the round
+#: kernels cache :func:`active_fault_plan` once per round and pass it
+#: down; legacy callers fall back to the context-var read).
+_LOOKUP_PLAN = object()
 
-def encode_pair(priority: np.ndarray, payload: np.ndarray) -> np.ndarray:
+
+def encode_pair(
+    priority: np.ndarray,
+    payload: np.ndarray,
+    *,
+    check: bool = True,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
     """Pack (priority, payload) into one int64 ordered lexicographically.
 
     ``encode_pair(p1, x1) < encode_pair(p2, x2)`` iff ``(p1, x1) <
     (p2, x2)`` lexicographically, so a writeMin on encoded pairs is a
     writeMin on pairs with ties broken by smaller payload — exactly the
     comparison Decomp-Min's pseudo-code performs on its (delta', C) pairs.
+
+    ``check=False`` skips the range scans — only for callers that
+    validated their whole value domain up front (the fast backend's
+    Decomp-Min setup proves the schedule's delta' range and the vertex
+    count once, instead of rescanning every round).  ``out`` receives
+    the encoding in place (it may alias *priority*).
     """
     priority = np.asarray(priority, dtype=np.int64)
     payload = np.asarray(payload, dtype=np.int64)
-    if priority.size and (priority.min() < 0 or priority.max() > _PAIR_MASK):
-        raise ValueError(f"priority out of range [0, 2^{PAIR_SHIFT})")
-    if payload.size and (payload.min() < 0 or payload.max() > _PAIR_MASK):
-        raise ValueError(f"payload out of range [0, 2^{PAIR_SHIFT})")
-    return (priority << PAIR_SHIFT) | payload
+    if check:
+        if priority.size and (priority.min() < 0 or priority.max() > _PAIR_MASK):
+            raise ValueError(f"priority out of range [0, 2^{PAIR_SHIFT})")
+        if payload.size and (payload.min() < 0 or payload.max() > _PAIR_MASK):
+            raise ValueError(f"payload out of range [0, 2^{PAIR_SHIFT})")
+    if out is None:
+        return (priority << PAIR_SHIFT) | payload
+    np.left_shift(priority, PAIR_SHIFT, out=out)
+    np.bitwise_or(out, payload, out=out)
+    return out
 
 
 def decode_pair(encoded: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -66,7 +88,7 @@ def decode_pair(encoded: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
 
 
 def write_min(
-    dest: np.ndarray, idx: np.ndarray, values: np.ndarray
+    dest: np.ndarray, idx: np.ndarray, values: np.ndarray, *, tracker=None
 ) -> None:
     """One synchronous round of priority-CRCW writeMins.
 
@@ -75,17 +97,23 @@ def write_min(
     minimum, matching the paper's ``writeMin`` primitive.  Charged as
     one atomic op per write attempt plus O(1) depth for the round.
 
-    Mutates *dest* in place.
+    Mutates *dest* in place.  *tracker* lets round kernels pass the
+    tracker they already resolved (one context-var read per round, not
+    per primitive).
     """
     idx = np.asarray(idx)
     values = np.asarray(values)
     if idx.shape[0] != values.shape[0]:
         raise ValueError("idx and values must have equal length")
-    current_tracker().add("atomic", work=float(idx.shape[0]), depth=1.0)
+    if tracker is None:
+        tracker = current_tracker()
+    tracker.add("atomic", work=float(idx.shape[0]), depth=1.0)
     np.minimum.at(dest, idx, values)
 
 
-def first_winner(idx: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+def first_winner(
+    idx: np.ndarray, *, workspace=None, tracker=None, plan=_LOOKUP_PLAN
+) -> Tuple[np.ndarray, np.ndarray]:
     """Resolve an arbitrary-CRCW race: one winner per distinct destination.
 
     Given the destinations ``idx`` of a batch of concurrent CAS
@@ -96,17 +124,31 @@ def first_winner(idx: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
 
     Charged as one atomic op per attempt plus O(1) depth.
 
+    A :class:`~repro.engine.workspace.Workspace` with
+    ``scatter_winner`` routes the resolution through its O(n)
+    reverse-order scatter; otherwise the sort-based ``np.unique`` pass
+    runs.  Both pick the first occurrence per destination, so the
+    winner schedule is identical (``tests/test_backend_parity.py``
+    pins this element for element).  *tracker* / *plan* let round
+    kernels pass their cached context lookups down the hot path.
+
     An armed :class:`~repro.resilience.faults.FaultPlan` may flip
     winners to *other legal contenders* (a different arbitrary
     schedule) — the hook cannot invent a winner that did not race.
     """
     idx = np.asarray(idx)
-    current_tracker().add("atomic", work=float(idx.shape[0]), depth=1.0)
+    if tracker is None:
+        tracker = current_tracker()
+    tracker.add("atomic", work=float(idx.shape[0]), depth=1.0)
     if idx.shape[0] == 0:
         return np.zeros(0, dtype=np.int64), idx
-    dests, positions = np.unique(idx, return_index=True)
-    positions = positions.astype(np.int64, copy=False)
-    plan = active_fault_plan()
+    if workspace is not None and workspace.scatter_winner:
+        positions, dests = workspace.winner_scatter(idx)
+    else:
+        dests, positions = np.unique(idx, return_index=True)
+        positions = positions.astype(np.int64, copy=False)
+    if plan is _LOOKUP_PLAN:
+        plan = active_fault_plan()
     if plan is not None:
         positions, dests = plan.perturb_cas(idx, positions, dests)
     return positions, dests

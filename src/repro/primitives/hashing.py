@@ -27,6 +27,7 @@ from repro.errors import ConvergenceError
 from repro.pram.cost import current_tracker
 from repro.primitives.atomics import first_winner
 from repro.primitives.rand import splitmix64
+from repro.resilience.faults import active_fault_plan
 
 __all__ = ["HashTable", "dedup"]
 
@@ -38,10 +39,9 @@ _MAX_ROUNDS_FACTOR = 64
 
 def _table_size(n: int) -> int:
     """Smallest power of two >= 2n (load factor <= 0.5), minimum 16."""
-    size = 16
-    while size < 2 * n:
-        size *= 2
-    return size
+    if n <= 8:
+        return 16
+    return 1 << (2 * n - 1).bit_length()
 
 
 class HashTable:
@@ -65,6 +65,12 @@ class HashTable:
         self._seed = np.uint64(seed & 0xFFFFFFFFFFFFFFFF)
         self.slots = np.full(self.size, _EMPTY, dtype=np.int64)
         current_tracker().add("alloc", work=float(self.size), depth=1.0)
+        # Imported lazily: primitives must stay importable without
+        # pulling in the engine package (which imports the primitives).
+        from repro.engine.backend import current_backend
+        from repro.engine.workspace import make_workspace
+
+        self._workspace = make_workspace(current_backend(), self.size)
 
     def _hash(self, keys: np.ndarray) -> np.ndarray:
         h = splitmix64(keys.astype(np.uint64) ^ self._seed)
@@ -89,12 +95,17 @@ class HashTable:
         max_rounds = _MAX_ROUNDS_FACTOR * max(
             1, int(np.ceil(np.log2(self.size + 1)))
         )
+        # Context lookups cached once per insert (round granularity);
+        # the probe loop passes them straight into the primitives.
+        tracker = current_tracker()
+        plan = active_fault_plan()
+        ws = self._workspace
         for _ in range(max_rounds):
             if pending.size == 0:
                 return inserted
             cur_slot = slot[pending]
             occupant = self.slots[cur_slot]
-            current_tracker().add("hash", work=float(pending.size), depth=1.0)
+            tracker.add("hash", work=float(pending.size), depth=1.0)
 
             # Keys whose slot already holds their value retire (duplicate).
             dup = occupant == keys[pending]
@@ -102,7 +113,9 @@ class HashTable:
             empty = occupant == _EMPTY
             claimers = pending[empty]
             if claimers.size:
-                win_pos, win_slots = first_winner(cur_slot[empty])
+                win_pos, win_slots = first_winner(
+                    cur_slot[empty], workspace=ws, tracker=tracker, plan=plan
+                )
                 winners = claimers[win_pos]
                 self.slots[win_slots] = keys[winners]
                 inserted[winners] = True

@@ -45,6 +45,14 @@ def _charge(n: int, passes: int) -> None:
     tracker.add("sort", work=float(n * passes), depth=depth_per_pass * passes)
 
 
+def _fused_sort() -> bool:
+    # Imported lazily: primitives must stay importable without pulling
+    # in the engine package (which itself imports the primitives).
+    from repro.engine.backend import current_backend
+
+    return current_backend().fused_sort
+
+
 def radix_argsort(keys: np.ndarray, max_key: Optional[int] = None) -> np.ndarray:
     """Stable sorting permutation for non-negative integer *keys*.
 
@@ -71,6 +79,13 @@ def radix_argsort(keys: np.ndarray, max_key: Optional[int] = None) -> np.ndarray
         raise ValueError("key exceeds declared max_key")
     passes = _num_passes(max_key)
     _charge(n, passes)
+
+    if _fused_sort():
+        # One fused stable sort in place of the per-digit passes: the
+        # stable sorting permutation of a key sequence is unique, so
+        # this is bit-identical to the pass loop below — the charge
+        # above still reflects the simulated pass structure.
+        return np.argsort(keys, kind="stable").astype(np.int64, copy=False)
 
     perm = np.arange(n, dtype=np.int64)
     shifted = keys.astype(np.uint64, copy=False)

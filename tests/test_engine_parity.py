@@ -23,9 +23,14 @@ import os
 import pytest
 
 from repro.decomp import DECOMP_VARIANTS
+from repro.engine.backend import use_backend
 
 from tests.conftest import _zoo
 from tests.golden.generate_decomp_parity import capture_bfs, capture_one
+
+#: Every fixture entry must replay identically under both execution
+#: backends — the parity contract of ``repro.engine.backend``.
+BACKENDS = ["reference", "fast"]
 
 FIXTURE = os.path.join(os.path.dirname(__file__), "golden", "decomp_parity.json")
 
@@ -47,13 +52,15 @@ def zoo():
     return _zoo()
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("key", _DECOMP_KEYS)
-def test_decomp_matches_pre_engine_capture(key, zoo):
+def test_decomp_matches_pre_engine_capture(key, backend, zoo):
     gname, variant, beta_s, seed_s = key.split("/")
     beta = float(beta_s.split("=")[1])
     seed = int(seed_s.split("=")[1])
     want = _GOLD[key]
-    got = capture_one(DECOMP_VARIANTS[variant], zoo[gname], beta, seed)
+    with use_backend(backend):
+        got = capture_one(DECOMP_VARIANTS[variant], zoo[gname], beta, seed)
     slack = DENSE_DEPTH_SLACK_PER_ROUND * len(want["dense_rounds"])
 
     # Outputs and round statistics: exact.
@@ -89,10 +96,12 @@ def test_decomp_matches_pre_engine_capture(key, zoo):
         assert got["total_depth"] == want["total_depth"]
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("key", _BFS_KEYS)
-def test_bfs_family_matches_pre_engine_capture(key, zoo):
+def test_bfs_family_matches_pre_engine_capture(key, backend, zoo):
     gname = key.split("/", 1)[1]
     want = _GOLD[key]
-    got = capture_bfs(zoo[gname])
+    with use_backend(backend):
+        got = capture_bfs(zoo[gname])
     for algo in want:
         assert got[algo] == want[algo], algo
