@@ -16,11 +16,16 @@ Gives shell access to the whole reproduction:
     Regenerate the paper's tables.
 ``figure {2,3,4,5,6,7,8}``
     Regenerate one of the paper's figures as ASCII series.
+``lint``
+    Run the reprolint PRAM-invariant static analyzer (RL001–RL004; see
+    docs/static_analysis.md).
 
 All commands accept ``--scale {tiny,small,medium}`` (default small) and
 ``--backend {reference,fast}`` (default fast) — the execution backend
 changes wall-clock speed only, never results or simulated costs (see
-docs/performance.md).
+docs/performance.md).  The global ``--sanitize`` flag arms the runtime
+PRAM race sanitizer around whatever command runs (fast backend only; a
+detected race aborts with exit code 2).
 
 ``run`` and ``table2`` additionally take the resilience options
 (``--retries``, ``--inject-fault``; ``table2`` also ``--checkpoint`` /
@@ -87,6 +92,14 @@ def build_parser() -> argparse.ArgumentParser:
         "way, 'fast' avoids per-round allocation/sorting wall-clock waste "
         f"(default: {DEFAULT_BACKEND_NAME}; see docs/performance.md)",
     )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="arm the runtime PRAM race sanitizer: every engine run is "
+        "checked for same-round conflicting non-atomic writes and CAS "
+        "schedule violations (fast backend only; see "
+        "docs/static_analysis.md)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list registered graphs and algorithms")
@@ -147,6 +160,22 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("outdir")
     rep.add_argument("--beta", type=float, default=0.2)
     rep.add_argument("--seed", type=int, default=1)
+
+    lint = sub.add_parser(
+        "lint", help="run the reprolint PRAM-invariant static analyzer"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the whole repro "
+        "package, with stale allowlist entries treated as errors)",
+    )
+    lint.add_argument(
+        "--config",
+        metavar="PATH",
+        help="explicit reprolint.toml (default: auto-discovered from the "
+        "working directory or the source checkout root)",
+    )
     return parser
 
 
@@ -350,6 +379,16 @@ def _cmd_figure(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis.reprolint import run_lint
+
+    report = run_lint(paths=args.paths or None, config_path=args.config)
+    for line in report.format_lines():
+        print(line)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _cmd_report(args) -> int:
     from repro.experiments.report import generate_report
 
@@ -370,6 +409,7 @@ _COMMANDS = {
     "table2": _cmd_table2,
     "figure": _cmd_figure,
     "report": _cmd_report,
+    "lint": _cmd_lint,
 }
 
 
@@ -382,9 +422,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     bugs.
     """
     args = build_parser().parse_args(argv)
-    set_default_backend(args.backend)
     try:
-        return _COMMANDS[args.command](args)
+        if args.sanitize and args.backend == "reference":
+            raise ParameterError(
+                "--sanitize validates the fast backend against the "
+                "reference schedule; it cannot be combined with "
+                "--backend reference (use the library API "
+                "repro.pram.sanitizing() to sanitize the reference "
+                "backend directly)"
+            )
+        set_default_backend(args.backend)
+        if not args.sanitize:
+            return _COMMANDS[args.command](args)
+
+        from repro.pram.sanitizer import sanitizing
+
+        with sanitizing() as sanitizer:
+            code = _COMMANDS[args.command](args)
+        print(f"sanitizer  : {sanitizer.summary()}", file=sys.stderr)
+        return code
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -37,6 +37,7 @@ from repro.engine.direction import AlwaysPush
 from repro.errors import ParameterError, VerificationError
 from repro.graphs.csr import CSRGraph
 from repro.pram.cost import current_tracker
+from repro.primitives.atomics import first_winner
 
 __all__ = ["decomp_spanning_forest", "partition_parents", "verify_spanning_forest"]
 
@@ -72,6 +73,9 @@ class _PartitionParentState(TraversalState):
     def visited_count(self) -> int:
         return int(self.reached.sum())
 
+    def shared_arrays(self):
+        return {"parents": self.parents, "reached": self.reached}
+
     def initial_frontier(self) -> np.ndarray:
         centers = np.unique(self.labels)
         self.reached[centers] = True
@@ -92,10 +96,9 @@ class _PartitionParentState(TraversalState):
             return np.zeros(0, dtype=np.int64)
         # arbitrary-CRCW: first claimer per target wins parenthood
         fresh_pos = np.flatnonzero(fresh)
-        targets, first = np.unique(dst[fresh_pos], return_index=True)
+        first, targets = first_winner(dst[fresh_pos])
         self.parents[targets] = src[fresh_pos[first]]
         self.reached[targets] = True
-        current_tracker().add("atomic", work=float(fresh_pos.size), depth=1.0)
         end_round(packing="unit")
         return targets
 

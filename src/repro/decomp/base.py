@@ -31,6 +31,7 @@ from repro.engine.workspace import make_workspace
 from repro.errors import ParameterError
 from repro.graphs.csr import CSRGraph
 from repro.pram.cost import current_tracker
+from repro.pram.sanitizer import active_sanitizer
 from repro.resilience.faults import active_fault_plan
 from repro.resilience.policy import RoundBudget
 
@@ -185,6 +186,9 @@ class DecompState(TraversalState):
     def initial_frontier(self) -> np.ndarray:
         return np.zeros(0, dtype=np.int64)
 
+    def shared_arrays(self) -> dict:
+        return {"C": self.C}
+
     def begin_round(self, engine: TraversalEngine, next_frontier: np.ndarray) -> None:
         self.start_new_centers(next_frontier)
 
@@ -229,6 +233,12 @@ class DecompState(TraversalState):
             tracker.add("gather", work=float(candidates.size), depth=1.0)
             fresh = candidates[self.C[candidates] == UNVISITED]
             if fresh.size:
+                sanitizer = active_sanitizer()
+                if sanitizer is not None:
+                    # Self-claim seeding: distinct unvisited vertices,
+                    # single writer each — declared, so the shadow check
+                    # knows these cells changed legally.
+                    sanitizer.record_write(self.C, fresh)
                 self.C[fresh] = fresh
                 tracker.add("scatter", work=float(fresh.size), depth=1.0)
                 self.visited += int(fresh.size)

@@ -31,11 +31,17 @@ once, here, and nowhere else.
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from repro.errors import ParameterError
 from repro.pram.cost import current_tracker
+from repro.pram.sanitizer import active_sanitizer
+
+if TYPE_CHECKING:  # policies import the engine's types, not vice versa
+    from repro.engine.direction import DirectionPolicy
+    from repro.engine.tiebreak import TiebreakPolicy
 
 __all__ = ["UNVISITED", "TraversalState", "TraversalEngine", "end_round"]
 
@@ -99,6 +105,16 @@ class TraversalState:
         """Frontier fed into the first ``begin_round``."""
         raise NotImplementedError
 
+    def shared_arrays(self) -> "dict[str, np.ndarray]":
+        """The shared state an active PRAM sanitizer shadow-checks.
+
+        Name -> array for every per-vertex array this traversal mutates
+        during rounds (labels, parents, ...).  The default is empty —
+        such a state simply gets no shadow coverage; the CAS-schedule
+        and duplicate-write checks still apply through the atomics.
+        """
+        return {}
+
     def begin_round(self, engine: "TraversalEngine", next_frontier: np.ndarray) -> None:
         """Install *next_frontier* and run round-boundary bookkeeping.
 
@@ -142,12 +158,17 @@ class TraversalEngine:
         with the arbitrary-CRCW race directly and may omit it.
     """
 
-    def __init__(self, state, direction, tiebreak=None) -> None:
+    def __init__(
+        self,
+        state: TraversalState,
+        direction: "DirectionPolicy",
+        tiebreak: "Optional[TiebreakPolicy]" = None,
+    ) -> None:
         self.state = state
         self.direction = direction
         self.tiebreak = tiebreak
 
-    def run(self):
+    def run(self) -> TraversalState:
         """Drive rounds until the state reports done; return the state.
 
         Each iteration: the round boundary (``begin_round`` — seeding,
@@ -160,16 +181,32 @@ class TraversalEngine:
         if self.tiebreak is not None:
             self.tiebreak.setup(state)
         next_frontier = state.initial_frontier()
-        while True:
-            claimed = int(next_frontier.size)
-            state.begin_round(self, next_frontier)
-            if state.done:
-                break
-            if direction.go_dense(self, state, claimed):
-                state.note_dense_round()
-                next_frontier = state.pull_round(self)
-            else:
-                next_frontier = state.push_round(self)
-            state.round += 1
+        sanitizer = active_sanitizer()
+        if sanitizer is not None:
+            sanitizer.open_run(state.shared_arrays())
+        try:
+            while True:
+                claimed = int(next_frontier.size)
+                # The round window opens before begin_round so that the
+                # seeding writes — and anything a fault plan injects at
+                # the round boundary — fall inside the shadow check.
+                if sanitizer is not None:
+                    sanitizer.open_round(state.round)
+                state.begin_round(self, next_frontier)
+                if state.done:
+                    if sanitizer is not None:
+                        sanitizer.close_round()
+                    break
+                if direction.go_dense(self, state, claimed):
+                    state.note_dense_round()
+                    next_frontier = state.pull_round(self)
+                else:
+                    next_frontier = state.push_round(self)
+                if sanitizer is not None:
+                    sanitizer.close_round()
+                state.round += 1
+        finally:
+            if sanitizer is not None:
+                sanitizer.close_run()
         state.finalize(self)
         return state

@@ -27,11 +27,15 @@ Register a custom policy with :func:`register_direction_policy`; see
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Type
+from typing import TYPE_CHECKING, Dict, Optional, Type
 
 from repro.engine.frontier import DENSE_THRESHOLD
 from repro.errors import ParameterError
 from repro.pram.cost import current_tracker
+
+if TYPE_CHECKING:
+    from repro.engine.core import TraversalEngine, TraversalState
+    from repro.graphs.csr import CSRGraph
 
 __all__ = [
     "DirectionPolicy",
@@ -52,7 +56,12 @@ class DirectionPolicy:
     #: Phase label for push rounds of phase-tracking states (or None).
     sparse_phase: Optional[str] = None
 
-    def go_dense(self, engine, state, claimed: int) -> bool:
+    def go_dense(
+        self,
+        engine: "TraversalEngine",
+        state: "TraversalState",
+        claimed: int,
+    ) -> bool:
         """True to run this round read-based (pull)."""
         raise NotImplementedError
 
@@ -65,7 +74,12 @@ class AlwaysPush(DirectionPolicy):
     def __init__(self, sparse_phase: Optional[str] = None) -> None:
         self.sparse_phase = sparse_phase
 
-    def go_dense(self, engine, state, claimed: int) -> bool:
+    def go_dense(
+        self,
+        engine: "TraversalEngine",
+        state: "TraversalState",
+        claimed: int,
+    ) -> bool:
         return False
 
 
@@ -77,7 +91,12 @@ class AlwaysPull(DirectionPolicy):
     def __init__(self, sparse_phase: Optional[str] = None) -> None:
         self.sparse_phase = sparse_phase
 
-    def go_dense(self, engine, state, claimed: int) -> bool:
+    def go_dense(
+        self,
+        engine: "TraversalEngine",
+        state: "TraversalState",
+        claimed: int,
+    ) -> bool:
         return True
 
 
@@ -99,7 +118,12 @@ class FractionHybrid(DirectionPolicy):
         self.threshold = threshold
         self.sparse_phase = sparse_phase
 
-    def go_dense(self, engine, state, claimed: int) -> bool:
+    def go_dense(
+        self,
+        engine: "TraversalEngine",
+        state: "TraversalState",
+        claimed: int,
+    ) -> bool:
         return (
             state.visited_count < state.n
             and claimed > self.threshold * state.n
@@ -119,13 +143,20 @@ class LigraEdgeHybrid(DirectionPolicy):
 
     name = "ligra-edges"
 
-    def __init__(self, graph, threshold: float = DENSE_THRESHOLD) -> None:
+    def __init__(
+        self, graph: "CSRGraph", threshold: float = DENSE_THRESHOLD
+    ) -> None:
         self.graph = graph
         self.switch_budget = (
             (graph.num_directed + graph.num_vertices) * threshold / 4.0
         )
 
-    def go_dense(self, engine, state, claimed: int) -> bool:
+    def go_dense(
+        self,
+        engine: "TraversalEngine",
+        state: "TraversalState",
+        claimed: int,
+    ) -> bool:
         frontier = state.frontier
         offsets = self.graph.offsets
         frontier_edges = int((offsets[frontier + 1] - offsets[frontier]).sum())

@@ -23,12 +23,15 @@ re-exports it; the engine owns the frontier lifecycle now.)
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from repro.pram.cost import current_tracker
 from repro.primitives.pack import pack_index
+
+if TYPE_CHECKING:
+    from repro.engine.workspace import NullWorkspace
 
 __all__ = ["Frontier", "DENSE_THRESHOLD"]
 
@@ -56,7 +59,7 @@ class Frontier:
         num_vertices: int,
         vertices: Optional[np.ndarray] = None,
         bitmap: Optional[np.ndarray] = None,
-        workspace=None,
+        workspace: "Optional[NullWorkspace]" = None,
     ) -> None:
         if (vertices is None) == (bitmap is None):
             raise ValueError("provide exactly one of vertices / bitmap")
@@ -80,7 +83,10 @@ class Frontier:
 
     @classmethod
     def from_vertices(
-        cls, num_vertices: int, vertices: np.ndarray, workspace=None
+        cls,
+        num_vertices: int,
+        vertices: np.ndarray,
+        workspace: "Optional[NullWorkspace]" = None,
     ) -> "Frontier":
         return cls(num_vertices, vertices=vertices, workspace=workspace)
 

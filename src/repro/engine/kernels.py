@@ -29,7 +29,7 @@ making the Figure 5-7 phase breakdowns mutually incomparable).
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
 
@@ -44,6 +44,11 @@ from repro.primitives.atomics import (
 )
 from repro.primitives.pack import pack_index
 from repro.resilience.faults import active_fault_plan
+
+if TYPE_CHECKING:
+    from repro.decomp.base import DecompState
+    from repro.engine.workspace import NullWorkspace
+    from repro.graphs.csr import CSRGraph
 
 __all__ = [
     "arb_round",
@@ -62,7 +67,7 @@ _PAIR_INF = np.int64((1 << 62) - 1)
 _PAIR_PAYLOAD_MASK = np.int64((1 << PAIR_SHIFT) - 1)
 
 
-def arb_round(state) -> np.ndarray:
+def arb_round(state: "DecompState") -> np.ndarray:
     """One Decomp-Arb BFS round over the current frontier.
 
     Returns the next frontier (this round's CAS winners).  Mutates
@@ -115,7 +120,9 @@ def arb_round(state) -> np.ndarray:
     return winners
 
 
-def min_round(state, pair: np.ndarray, trusted_keys: bool = False) -> np.ndarray:
+def min_round(
+    state: "DecompState", pair: np.ndarray, trusted_keys: bool = False
+) -> np.ndarray:
     """One Decomp-Min round: writeMin phase, barrier, claim phase.
 
     *pair* is the per-vertex merged (delta', center) writeMin cell
@@ -211,7 +218,7 @@ def min_round(state, pair: np.ndarray, trusted_keys: bool = False) -> np.ndarray
     return new_vertices
 
 
-def dense_round(state) -> np.ndarray:
+def dense_round(state: "DecompState") -> np.ndarray:
     """One read-based round: unvisited vertices pull from the frontier.
 
     Returns the newly visited vertices (next frontier).  Charges the
@@ -273,7 +280,7 @@ def dense_round(state) -> np.ndarray:
     return winners
 
 
-def filter_edges(state, deferred: List[np.ndarray]) -> None:
+def filter_edges(state: "DecompState", deferred: List[np.ndarray]) -> None:
     """The post-processing phase: classify every deferred edge.
 
     *deferred* holds the frontiers of the dense rounds; their out-edges
@@ -300,10 +307,10 @@ def filter_edges(state, deferred: List[np.ndarray]) -> None:
 
 
 def bottom_up_step(
-    graph,
+    graph: "CSRGraph",
     frontier_bitmap: np.ndarray,
     visited: np.ndarray,
-    workspace=None,
+    workspace: "Optional[NullWorkspace]" = None,
 ) -> Tuple[np.ndarray, np.ndarray, int]:
     """One read-based (bottom-up) BFS round.
 

@@ -31,7 +31,7 @@ fault hooks fire only from the decomposition family's round boundary.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
 
@@ -43,6 +43,11 @@ from repro.engine.workspace import make_workspace
 from repro.pram.cost import current_tracker
 from repro.primitives.atomics import first_winner
 from repro.resilience.faults import active_fault_plan
+
+if TYPE_CHECKING:
+    from repro.engine.workspace import NullWorkspace
+    from repro.graphs.csr import CSRGraph
+    from repro.resilience.policy import RoundBudget
 
 __all__ = ["BFSTreeState", "ComponentLabelState"]
 
@@ -66,7 +71,11 @@ class BFSTreeState(TraversalState):
     """
 
     def __init__(
-        self, graph, source: int, track_visited: bool = False, budget=None
+        self,
+        graph: "CSRGraph",
+        source: int,
+        track_visited: bool = False,
+        budget: "Optional[RoundBudget]" = None,
     ) -> None:
         n = graph.num_vertices
         if not 0 <= source < n:
@@ -111,6 +120,12 @@ class BFSTreeState(TraversalState):
 
     def initial_frontier(self) -> np.ndarray:
         return np.array([self.source], dtype=np.int64)
+
+    def shared_arrays(self) -> "dict[str, np.ndarray]":
+        arrays = {"parents": self.parents, "distances": self.distances}
+        if self.visited is not None:
+            arrays["visited"] = self.visited
+        return arrays
 
     def begin_round(self, engine: TraversalEngine, next_frontier: np.ndarray) -> None:
         if self.budget is not None:
@@ -180,8 +195,15 @@ class ComponentLabelState(TraversalState):
     every vertex this traversal claims gets *label*.
     """
 
-    def __init__(self, graph, source: int, labels: np.ndarray, label: int,
-                 budget=None, workspace=None) -> None:
+    def __init__(
+        self,
+        graph: "CSRGraph",
+        source: int,
+        labels: np.ndarray,
+        label: int,
+        budget: "Optional[RoundBudget]" = None,
+        workspace: "Optional[NullWorkspace]" = None,
+    ) -> None:
         self.graph = graph
         self.source = source
         self.labels = labels
@@ -218,6 +240,9 @@ class ComponentLabelState(TraversalState):
 
     def initial_frontier(self) -> np.ndarray:
         return np.array([self.source], dtype=np.int64)
+
+    def shared_arrays(self) -> "dict[str, np.ndarray]":
+        return {"labels": self.labels}
 
     def begin_round(self, engine: TraversalEngine, next_frontier: np.ndarray) -> None:
         if self.budget is not None:

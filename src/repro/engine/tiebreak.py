@@ -25,7 +25,7 @@ Register a custom policy with :func:`register_tiebreak_policy`; see
 
 from __future__ import annotations
 
-from typing import Dict, Type
+from typing import TYPE_CHECKING, Dict, Type
 
 import numpy as np
 
@@ -33,6 +33,10 @@ from repro.engine.kernels import _PAIR_INF, arb_round, min_round
 from repro.errors import ParameterError
 from repro.pram.cost import current_tracker
 from repro.primitives.atomics import encode_pair
+
+if TYPE_CHECKING:
+    from repro.decomp.base import DecompState
+    from repro.engine.core import TraversalEngine
 
 __all__ = [
     "TiebreakPolicy",
@@ -55,10 +59,12 @@ class TiebreakPolicy:
     #: Registry key and display name.
     name: str = "?"
 
-    def setup(self, state) -> None:
+    def setup(self, state: "DecompState") -> None:
         """Allocate per-run auxiliary state (charged to ``init``)."""
 
-    def push_round(self, state, engine) -> np.ndarray:
+    def push_round(
+        self, state: "DecompState", engine: "TraversalEngine"
+    ) -> np.ndarray:
         """Run one write-based round; return the next frontier."""
         raise NotImplementedError
 
@@ -72,7 +78,9 @@ class ArbTiebreak(TiebreakPolicy):
 
     name = "arb"
 
-    def push_round(self, state, engine) -> np.ndarray:
+    def push_round(
+        self, state: "DecompState", engine: "TraversalEngine"
+    ) -> np.ndarray:
         label = engine.direction.sparse_phase or "bfsMain"
         with current_tracker().phase(label):
             return arb_round(state)
@@ -92,7 +100,7 @@ class MinTiebreak(TiebreakPolicy):
         self.pair: np.ndarray = np.zeros(0, dtype=np.int64)
         self._checked = False
 
-    def setup(self, state) -> None:
+    def setup(self, state: "DecompState") -> None:
         tracker = current_tracker()
         with tracker.phase("init"):
             self.pair = np.full(state.n, _PAIR_INF, dtype=np.int64)
@@ -108,7 +116,9 @@ class MinTiebreak(TiebreakPolicy):
             )
             self._checked = True
 
-    def push_round(self, state, engine) -> np.ndarray:
+    def push_round(
+        self, state: "DecompState", engine: "TraversalEngine"
+    ) -> np.ndarray:
         # Phase labels are the rule's own (bfsPhase1/bfsPhase2, inside
         # the kernel); the direction policy's sparse label is unused.
         return min_round(state, self.pair, trusted_keys=self._checked)

@@ -32,9 +32,14 @@ runs, not what the PRAM run costs — the parity contract of
 
 from __future__ import annotations
 
-from typing import Dict, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Tuple, Union
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from numpy.typing import DTypeLike
+
+    from repro.engine.backend import ExecutionBackend
 
 __all__ = ["Workspace", "NullWorkspace", "NULL_WORKSPACE", "make_workspace"]
 
@@ -65,16 +70,16 @@ class NullWorkspace:
     def compress(self, mask: np.ndarray, arr: np.ndarray, key: str) -> np.ndarray:
         return arr[mask]
 
-    def equal(self, a, b, key: str) -> np.ndarray:
+    def equal(self, a: np.ndarray, b: np.ndarray, key: str) -> np.ndarray:
         return a == b
 
-    def not_equal(self, a, b, key: str) -> np.ndarray:
+    def not_equal(self, a: np.ndarray, b: np.ndarray, key: str) -> np.ndarray:
         return a != b
 
     def logical_not(self, a: np.ndarray, key: str) -> np.ndarray:
         return ~a
 
-    def bitand(self, a: np.ndarray, scalar, key: str) -> np.ndarray:
+    def bitand(self, a: np.ndarray, scalar: "DTypeLike", key: str) -> np.ndarray:
         return a & scalar
 
     def sub(self, a: np.ndarray, b: np.ndarray, key: str) -> np.ndarray:
@@ -127,7 +132,7 @@ class Workspace(NullWorkspace):
 
     # -- arena management --------------------------------------------------
 
-    def _buf(self, key: str, size: int, dtype) -> np.ndarray:
+    def _buf(self, key: str, size: int, dtype: "DTypeLike") -> np.ndarray:
         buf = self._buffers.get(key)
         if buf is None or buf.shape[0] < size:
             buf = np.empty(_grown(size), dtype=dtype)
@@ -173,12 +178,12 @@ class Workspace(NullWorkspace):
         np.take(arr, pos, out=out, mode="clip")
         return out
 
-    def equal(self, a, b, key: str) -> np.ndarray:
+    def equal(self, a: np.ndarray, b: np.ndarray, key: str) -> np.ndarray:
         out = self._buf(key, a.shape[0], np.bool_)
         np.equal(a, b, out=out)
         return out
 
-    def not_equal(self, a, b, key: str) -> np.ndarray:
+    def not_equal(self, a: np.ndarray, b: np.ndarray, key: str) -> np.ndarray:
         out = self._buf(key, a.shape[0], np.bool_)
         np.not_equal(a, b, out=out)
         return out
@@ -188,7 +193,7 @@ class Workspace(NullWorkspace):
         np.logical_not(a, out=out)
         return out
 
-    def bitand(self, a: np.ndarray, scalar, key: str) -> np.ndarray:
+    def bitand(self, a: np.ndarray, scalar: "DTypeLike", key: str) -> np.ndarray:
         out = self._buf(key, a.shape[0], a.dtype)
         np.bitwise_and(a, scalar, out=out)
         return out
@@ -267,7 +272,7 @@ class Workspace(NullWorkspace):
 
 
 def make_workspace(
-    backend, num_vertices: int
+    backend: "ExecutionBackend", num_vertices: int
 ) -> Union[Workspace, NullWorkspace]:
     """The workspace a run should thread through its kernels."""
     if backend.use_workspace:

@@ -116,6 +116,33 @@ class FaultSpecError(ReproError, ValueError):
     """Raised when a fault-injection spec string cannot be parsed."""
 
 
+class SanitizerError(ReproError):
+    """Raised by :class:`repro.pram.sanitizer.PramSanitizer` on a race.
+
+    A "race" here is any same-round access pattern outside the simulated
+    CRCW machine's sanctioned disciplines: two non-atomic writes to one
+    cell, a mutation of a registered shared array not covered by any
+    recorded write set, or a CAS resolution that deviates from the
+    deterministic first-occurrence schedule.  :attr:`report` carries the
+    structured :class:`repro.pram.sanitizer.RaceReport`; ``None`` for
+    message-only construction.
+    """
+
+    def __init__(self, message: str, *, report: Optional[object] = None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
+class LintConfigError(ReproError):
+    """Raised when ``reprolint.toml`` cannot be used.
+
+    Examples: unparseable TOML, an allowlist entry with an unknown rule
+    id, or an entry missing its justification ``reason`` — the allowlist
+    policy (docs/static_analysis.md) requires every suppression to say
+    why it is legal.
+    """
+
+
 class ResilienceExhaustedError(ReproError):
     """Raised by :class:`repro.resilience.runner.ResilientRunner` when a
     cell keeps failing after every retry and every fallback algorithm.

@@ -22,6 +22,12 @@ from repro.pram.machine import (
     paper_thread_sweep,
     parse_thread_spec,
 )
+from repro.pram.sanitizer import (
+    PramSanitizer,
+    RaceReport,
+    active_sanitizer,
+    sanitizing,
+)
 
 __all__ = [
     "KINDS",
@@ -29,6 +35,10 @@ __all__ = [
     "CostTracker",
     "current_tracker",
     "tracking",
+    "PramSanitizer",
+    "RaceReport",
+    "active_sanitizer",
+    "sanitizing",
     "MachineModel",
     "PAPER_MACHINE",
     "paper_thread_sweep",

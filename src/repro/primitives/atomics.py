@@ -20,12 +20,16 @@ work per write attempt.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Any, Optional, Tuple
 
 import numpy as np
 
-from repro.pram.cost import current_tracker
+from repro.pram.cost import CostTracker, current_tracker
+from repro.pram.sanitizer import active_sanitizer
 from repro.resilience.faults import active_fault_plan
+
+if TYPE_CHECKING:  # layering: primitives must not import engine at runtime
+    from repro.engine.workspace import NullWorkspace
 
 __all__ = [
     "write_min",
@@ -88,7 +92,11 @@ def decode_pair(encoded: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
 
 
 def write_min(
-    dest: np.ndarray, idx: np.ndarray, values: np.ndarray, *, tracker=None
+    dest: np.ndarray,
+    idx: np.ndarray,
+    values: np.ndarray,
+    *,
+    tracker: Optional[CostTracker] = None,
 ) -> None:
     """One synchronous round of priority-CRCW writeMins.
 
@@ -108,11 +116,18 @@ def write_min(
     if tracker is None:
         tracker = current_tracker()
     tracker.add("atomic", work=float(idx.shape[0]), depth=1.0)
+    sanitizer = active_sanitizer()
+    if sanitizer is not None:
+        sanitizer.record_atomic(dest, idx)
     np.minimum.at(dest, idx, values)
 
 
 def first_winner(
-    idx: np.ndarray, *, workspace=None, tracker=None, plan=_LOOKUP_PLAN
+    idx: np.ndarray,
+    *,
+    workspace: Optional[NullWorkspace] = None,
+    tracker: Optional[CostTracker] = None,
+    plan: Any = _LOOKUP_PLAN,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Resolve an arbitrary-CRCW race: one winner per distinct destination.
 
@@ -149,6 +164,17 @@ def first_winner(
         positions = positions.astype(np.int64, copy=False)
     if plan is _LOOKUP_PLAN:
         plan = active_fault_plan()
+    sanitizer = active_sanitizer()
     if plan is not None:
+        # The pre-perturbation resolution IS the machine's deterministic
+        # schedule; an armed sanitizer validates whatever comes back
+        # against it, so a cas_flip surfaces as a cas-order race.
+        canonical_positions, canonical_dests = positions, dests
         positions, dests = plan.perturb_cas(idx, positions, dests)
+        if sanitizer is not None:
+            sanitizer.check_cas(
+                idx, canonical_positions, canonical_dests, positions, dests
+            )
+    if sanitizer is not None:
+        sanitizer.sanction(dests)
     return positions, dests

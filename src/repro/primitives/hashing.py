@@ -56,7 +56,7 @@ class HashTable:
         Seed for the (splitmix64) hash function.
     """
 
-    def __init__(self, capacity: int, seed: int = 0x5EED):
+    def __init__(self, capacity: int, seed: int = 0x5EED) -> None:
         if capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
         self.capacity = capacity

@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.analysis.verify import verify_labeling
-from repro.errors import ResilienceExhaustedError
+from repro.errors import ReproError, ResilienceExhaustedError
 from repro.resilience.checkpoint import SweepCheckpoint
 from repro.resilience.faults import FaultPlan
 from repro.resilience.policy import RetryPolicy
@@ -174,9 +174,14 @@ class ResilientRunner:
                     )
                     if self.verify:
                         verify_labeling(graph, prof.result.labels)
-                except (KeyboardInterrupt, SystemExit):
-                    raise
-                except Exception as exc:
+                except ReproError as exc:
+                    # Only the package's own failure hierarchy is
+                    # retryable: a ConvergenceError, VerificationError,
+                    # or SanitizerError means *this run* went bad, and a
+                    # rotated seed or a fallback algorithm can recover.
+                    # Anything else (TypeError, MemoryError, ...) is a
+                    # bug or an environment failure — retrying would
+                    # mask it, so it propagates with its traceback.
                     last_in_chain = chain_pos == len(chain) - 1
                     last_attempt = attempt == self.retry.max_attempts - 1
                     record = FailureRecord(

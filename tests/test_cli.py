@@ -197,3 +197,68 @@ class TestResilienceOptions:
         )
         assert code == 0
         assert "cells      : 0 computed" in out
+
+
+class TestFlagValidation:
+    """Bad flag combinations fail with a clear message, never a traceback."""
+
+    def test_unknown_backend_rejected_by_parser(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--backend", "quantum", "list"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice: 'quantum'" in err
+        assert "Traceback" not in err
+
+    def test_sanitize_with_reference_backend_is_a_clear_error(self, capsys):
+        code = main(
+            ["--sanitize", "--backend", "reference", "--scale", "tiny",
+             "run", "decomp-arb-CC", "line"]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert err.startswith("error:")
+        assert "--sanitize" in err
+        assert "Traceback" not in err
+
+    def test_sanitize_clean_run_reports_summary(self, capsys):
+        code = main(
+            ["--sanitize", "--scale", "tiny", "run", "decomp-arb-CC", "line"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "0 race(s)" in captured.err
+
+    def test_sanitize_detects_injected_cas_flip(self, capsys):
+        # Without retries the resilient runner still recovers (clean
+        # re-run), but the sanitizer's catch must be visible.
+        code = main(
+            ["--sanitize", "--scale", "tiny", "run", "decomp-arb-CC", "line",
+             "--inject-fault", "cas_flip:p=1.0,round=2"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "cas-order" in captured.out
+
+    def test_lint_command_exits_zero_on_clean_tree(self, capsys):
+        code, out = run_cli(capsys, "lint")
+        assert code == 0
+        assert "0 violation(s)" in out
+
+    def test_lint_command_reports_violations_with_exit_one(self, capsys, tmp_path):
+        bad = tmp_path / "src" / "repro" / "engine" / "evil.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def f(labels, idx):\n    labels[idx] = 1\n")
+        code, out = run_cli(capsys, "lint", str(bad))
+        assert code == 1
+        assert "RL001" in out
+        assert "evil.py:2:" in out
+
+    def test_lint_broken_config_exits_two(self, capsys, tmp_path):
+        cfg = tmp_path / "reprolint.toml"
+        cfg.write_text('[[allow]]\nrule = "RL001"\nsite = "a.py::f"\n')
+        code = main(["lint", "--config", str(cfg)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert err.startswith("error:")
+        assert "reason" in err
