@@ -52,10 +52,12 @@ RULE_SCOPES: Dict[str, Tuple[str, ...]] = {
 }
 
 #: Carve-outs from RL004's blanket scope: the wall-clock harness and
-#: the experiment/benchmark layers measure real elapsed time by design.
+#: the experiment/benchmark layers measure real elapsed time by design,
+#: and the fuzz loop enforces its ``--time-budget`` stopping condition.
 RL004_EXEMPT: Tuple[str, ...] = (
     "src/repro/analysis/wallclock.py",
     "src/repro/experiments/",
+    "src/repro/fuzz/harness.py",
 )
 
 

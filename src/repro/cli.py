@@ -19,6 +19,12 @@ Gives shell access to the whole reproduction:
 ``lint``
     Run the reprolint PRAM-invariant static analyzer (RL001–RL004; see
     docs/static_analysis.md).
+``fuzz``
+    Run the differential fuzzer: seed-determined adversarial inputs
+    through every implementation x backend, failures delta-debugged to
+    minimal JSON repros (see docs/robustness.md).
+``replay``
+    Replay one fuzz-corpus case file against the full oracle.
 
 All commands accept ``--scale {tiny,small,medium}`` (default small) and
 ``--backend {reference,fast}`` (default fast) — the execution backend
@@ -176,6 +182,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="explicit reprolint.toml (default: auto-discovered from the "
         "working directory or the source checkout root)",
     )
+
+    fuzz = sub.add_parser(
+        "fuzz", help="differential fuzzing with delta-debugging shrinker"
+    )
+    fuzz.add_argument(
+        "--seed",
+        default="1",
+        help="case-stream seed: an integer, or 'from-run-id' to derive "
+        "one from $GITHUB_RUN_ID (CI smoke; default: 1)",
+    )
+    fuzz.add_argument(
+        "--max-cases",
+        type=int,
+        default=100,
+        metavar="N",
+        help="number of generated cases to judge (default: 100)",
+    )
+    fuzz.add_argument(
+        "--time-budget",
+        type=float,
+        metavar="SECONDS",
+        help="stop (between cases) once this much wall time has elapsed",
+    )
+    fuzz.add_argument(
+        "--shrink",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="delta-debug failing cases to minimal repros (default: on)",
+    )
+    fuzz.add_argument(
+        "--corpus",
+        metavar="DIR",
+        default="fuzz-failures",
+        help="directory shrunk repros are written to as replayable JSON "
+        "(default: ./fuzz-failures)",
+    )
+    fuzz.add_argument(
+        "--planted",
+        metavar="NAME",
+        help="arm a deliberate bug from repro.fuzz.planted — the "
+        "pipeline's self-test (the fuzzer must find and shrink it)",
+    )
+
+    rpl = sub.add_parser("replay", help="replay one fuzz corpus case file")
+    rpl.add_argument("case", metavar="CASE.json", help="path to a case file")
     return parser
 
 
@@ -389,6 +440,60 @@ def _cmd_lint(args) -> int:
     return 0 if report.ok else 1
 
 
+def _resolve_fuzz_seed(spec: str) -> int:
+    """An integer seed, or ``from-run-id`` -> $GITHUB_RUN_ID (else 0)."""
+    import os
+
+    if spec == "from-run-id":
+        run_id = os.environ.get("GITHUB_RUN_ID", "0")
+        try:
+            return int(run_id)
+        except ValueError:
+            # Non-numeric run ids hash to a stable seed.
+            return sum(ord(c) * 31**i for i, c in enumerate(run_id)) % (1 << 31)
+    try:
+        return int(spec)
+    except ValueError:
+        raise ParameterError(
+            f"--seed must be an integer or 'from-run-id', got {spec!r}"
+        ) from None
+
+
+def _cmd_fuzz(args) -> int:
+    from repro.fuzz import fuzz_run
+
+    report = fuzz_run(
+        seed=_resolve_fuzz_seed(args.seed),
+        max_cases=args.max_cases,
+        time_budget=args.time_budget,
+        shrink=args.shrink,
+        planted=args.planted,
+        corpus_dir=args.corpus,
+    )
+    for line in report.format_lines():
+        print(line)
+    return 0 if report.ok else 1
+
+
+def _cmd_replay(args) -> int:
+    from repro.fuzz import load_case, run_case
+
+    case = load_case(args.case)
+    outcome = run_case(case)
+    print(f"case       : {case.case_id or args.case}")
+    if case.note:
+        print(f"note       : {case.note}")
+    print(f"algorithm  : {case.config.algorithm}")
+    if outcome.num_components is not None:
+        print(f"components : {outcome.num_components}")
+    if outcome.detected:
+        print(f"detected   : injected fault caught by {outcome.detected_by}")
+    for finding in outcome.findings:
+        print(f"finding    : {finding}")
+    print(f"verdict    : {'PASS' if outcome.passed else 'FAIL'}")
+    return 0 if outcome.passed else 1
+
+
 def _cmd_report(args) -> int:
     from repro.experiments.report import generate_report
 
@@ -410,6 +515,8 @@ _COMMANDS = {
     "figure": _cmd_figure,
     "report": _cmd_report,
     "lint": _cmd_lint,
+    "fuzz": _cmd_fuzz,
+    "replay": _cmd_replay,
 }
 
 

@@ -1,0 +1,103 @@
+"""Deliberately planted kernel bugs: ground truth for the fuzzer itself.
+
+A fuzzer you cannot watch find a bug is a fuzzer you cannot trust.  The
+bugs here are deterministic corruptions applied to an algorithm's
+labeling *as if* a kernel had mis-resolved a race — the same observable
+effect as a real scheduling bug, but switchable, so the test suite (and
+``repro fuzz --planted``) can assert the whole pipeline end to end:
+the generator samples an input that triggers the bug, the oracle flags
+it, and the shrinker reduces it to a handful of vertices.
+
+Each bug is a pure function of (graph, labels); no ambient randomness,
+so a planted failure replays bit-for-bit from its corpus file (cases
+carry the planted-bug name in their config).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.graphs.csr import CSRGraph
+
+__all__ = ["PlantedBug", "PLANTED_BUGS", "get_planted_bug"]
+
+
+@dataclass(frozen=True)
+class PlantedBug:
+    """One switchable labeling corruption emulating a kernel bug.
+
+    ``applies_to`` is an algorithm-name prefix; the oracle corrupts only
+    matching algorithms (planting a bug in one implementation is what
+    makes the differential cross-check light up instead of every row
+    failing identically).
+    """
+
+    name: str
+    description: str
+    applies_to: str
+    corrupt: Callable[[CSRGraph, np.ndarray], np.ndarray]
+
+
+def _merge_components(graph: CSRGraph, labels: np.ndarray) -> np.ndarray:
+    """Fuse the two lowest-numbered components into one.
+
+    Emulates a lost inter-partition edge check during contraction: two
+    distinct components come back under one label.  Fires on any input
+    with >= 2 components — the minimal trigger is two isolated
+    vertices, which is exactly what the shrinker should find.
+    """
+    uniq = np.unique(labels)
+    if uniq.size < 2:
+        return labels
+    out = labels.copy()
+    out[out == uniq[1]] = uniq[0]
+    return out
+
+
+def _hub_mislabel(graph: CSRGraph, labels: np.ndarray) -> np.ndarray:
+    """Give the first vertex of degree >= 3 a private label.
+
+    Emulates a dropped frontier claim on a contended high-degree
+    vertex: the hub ends up split out of its own component.  Minimal
+    trigger: a 4-vertex star.
+    """
+    degrees = graph.degrees
+    hubs = np.flatnonzero(degrees >= 3)
+    if hubs.size == 0:
+        return labels
+    out = labels.copy()
+    out[int(hubs[0])] = graph.num_vertices
+    return out
+
+
+#: name -> bug.  All planted bugs target the decomp variants — the
+#: implementations whose engine kernels the fuzzer exists to guard.
+PLANTED_BUGS: Dict[str, PlantedBug] = {
+    "merge-components": PlantedBug(
+        name="merge-components",
+        description="contraction loses a component boundary: the two "
+        "lowest components merge under one label",
+        applies_to="decomp-",
+        corrupt=_merge_components,
+    ),
+    "hub-mislabel": PlantedBug(
+        name="hub-mislabel",
+        description="a degree>=3 vertex loses its CAS claim and splits "
+        "out of its component under a private label",
+        applies_to="decomp-",
+        corrupt=_hub_mislabel,
+    ),
+}
+
+
+def get_planted_bug(name: str) -> PlantedBug:
+    """Look up a planted bug by name."""
+    if name not in PLANTED_BUGS:
+        raise ParameterError(
+            f"unknown planted bug {name!r}; choose from {sorted(PLANTED_BUGS)}"
+        )
+    return PLANTED_BUGS[name]

@@ -1,0 +1,255 @@
+"""Delta-debugging shrinker: reduce a failing case to its minimal core.
+
+Given a case the oracle rejects, :func:`shrink_case` searches for the
+smallest case that *still fails the same way* (the preservation
+predicate is overlap on finding kinds — a ``wrong-labeling`` repro must
+stay a ``wrong-labeling`` repro, not mutate into a crash):
+
+1. **materialize** — family-generated graphs are flattened to explicit
+   edge lists so structural reduction has something to cut;
+2. **edge ddmin** — Zeller's complement-removal delta debugging over
+   the edge list;
+3. **vertex elimination** — individual vertices (with incident edges)
+   are removed and ids compacted while the failure survives;
+4. **config minimization** — the fault plan, sanitizer arming,
+   secondary backend and non-default beta/seed are dropped one at a
+   time when the failure does not need them.
+
+Every candidate evaluation is one full oracle run, so the whole search
+is deterministic; a global evaluation budget bounds the worst case and
+the best shrunk case so far is returned when it trips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.fuzz.case import CaseConfig, CaseGraph, FuzzCase, build_case_graph
+from repro.fuzz.oracle import run_case
+from repro.graphs.ops import edges_as_undirected_pairs
+
+__all__ = ["ShrinkResult", "shrink_case"]
+
+Edge = Tuple[int, int]
+
+
+@dataclass
+class ShrinkResult:
+    """The shrunk case plus the search's bookkeeping."""
+
+    case: FuzzCase
+    kinds: Tuple[str, ...]
+    evaluations: int
+    original_edges: int
+    original_vertices: int
+
+    @property
+    def num_vertices(self) -> int:
+        return (
+            self.case.graph.num_vertices
+            if self.case.graph.kind == "edges"
+            else build_case_graph(self.case.graph).num_vertices
+        )
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.case.graph.edges) if self.case.graph.kind == "edges" else -1
+
+
+class _Budget:
+    """Counts oracle evaluations; the search stops when exhausted."""
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.used = 0
+
+    def spend(self) -> bool:
+        if self.used >= self.limit:
+            return False
+        self.used += 1
+        return True
+
+
+def _still_fails(
+    case: FuzzCase,
+    target_kinds: frozenset,
+    planted: Optional[str],
+    budget: _Budget,
+) -> bool:
+    if not budget.spend():
+        return False
+    outcome = run_case(case, planted=planted)
+    return bool(target_kinds & set(outcome.kinds()))
+
+
+def _ddmin_edges(
+    case: FuzzCase,
+    edges: List[Edge],
+    num_vertices: int,
+    fails: Callable[[FuzzCase], bool],
+) -> List[Edge]:
+    """Classic ddmin (complement removal) over the edge list."""
+
+    def candidate(subset: Sequence[Edge]) -> FuzzCase:
+        return case.with_graph(
+            CaseGraph(
+                kind="edges", num_vertices=num_vertices, edges=tuple(subset)
+            )
+        )
+
+    if edges and fails(candidate([])):
+        return []
+    granularity = 2
+    while len(edges) >= 2:
+        chunk = max(1, len(edges) // granularity)
+        reduced = False
+        start = 0
+        while start < len(edges):
+            complement = edges[:start] + edges[start + chunk :]
+            if complement and len(complement) < len(edges) and fails(
+                candidate(complement)
+            ):
+                edges = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+            start += chunk
+        if not reduced:
+            if granularity >= len(edges):
+                break
+            granularity = min(len(edges), granularity * 2)
+    return edges
+
+
+def _drop_vertices(
+    case: FuzzCase,
+    edges: List[Edge],
+    num_vertices: int,
+    fails: Callable[[FuzzCase], bool],
+) -> Tuple[List[Edge], int]:
+    """Remove single vertices (compacting ids) while the failure holds."""
+
+    def candidate(es: Sequence[Edge], n: int) -> FuzzCase:
+        return case.with_graph(
+            CaseGraph(kind="edges", num_vertices=n, edges=tuple(es))
+        )
+
+    changed = True
+    while changed and num_vertices > 0:
+        changed = False
+        for v in range(num_vertices - 1, -1, -1):
+            pruned = [
+                (u - (u > v), w - (w > v))
+                for u, w in edges
+                if u != v and w != v
+            ]
+            if fails(candidate(pruned, num_vertices - 1)):
+                edges = pruned
+                num_vertices -= 1
+                changed = True
+                break
+    return edges, num_vertices
+
+
+def _minimize_config(
+    case: FuzzCase, fails: Callable[[FuzzCase], bool]
+) -> FuzzCase:
+    """Drop configuration complexity the failure does not depend on.
+
+    Trials are re-derived from the *current* config after every
+    accepted simplification — deriving them all from the original
+    would let a later accepted trial silently revert earlier ones.
+    """
+    changed = True
+    while changed:
+        changed = False
+        cfg = case.config
+        trials: List[CaseConfig] = []
+        if cfg.fault is not None:
+            trials.append(replace(cfg, fault=None, fault_seed=0))
+        if cfg.sanitize:
+            trials.append(replace(cfg, sanitize=False))
+        if len(cfg.backends) > 1:
+            for backend in cfg.backends:
+                trials.append(replace(cfg, backends=(backend,)))
+        if cfg.beta != 0.2:
+            trials.append(replace(cfg, beta=0.2))
+        if cfg.seed != 1:
+            trials.append(replace(cfg, seed=1))
+        for trial in trials:
+            candidate = case.with_config(trial)
+            if fails(candidate):
+                case = candidate
+                changed = True
+                break
+    return case
+
+
+def shrink_case(
+    case: FuzzCase,
+    planted: Optional[str] = None,
+    max_evaluations: int = 2000,
+) -> ShrinkResult:
+    """Reduce *case* to a minimal case failing with the same kinds.
+
+    The input case must fail; if it does not (or the budget is zero)
+    the original case comes back unchanged.
+    """
+    budget = _Budget(max_evaluations)
+    baseline = run_case(case, planted=planted)
+    original_graph = build_case_graph(case.graph)
+    original_vertices = original_graph.num_vertices
+    original_edges = original_graph.num_edges
+    target_kinds = frozenset(baseline.kinds())
+    if not target_kinds:
+        return ShrinkResult(
+            case=case,
+            kinds=(),
+            evaluations=0,
+            original_edges=original_edges,
+            original_vertices=original_vertices,
+        )
+
+    def fails(candidate: FuzzCase) -> bool:
+        return _still_fails(candidate, target_kinds, planted, budget)
+
+    # 1. Materialize family graphs to an explicit edge list (only kept
+    #    when the failure survives re-expression).
+    if case.graph.kind == "family":
+        src, dst = edges_as_undirected_pairs(original_graph)
+        flat = CaseGraph(
+            kind="edges",
+            num_vertices=original_vertices,
+            edges=tuple(
+                (int(u), int(v)) for u, v in zip(src.tolist(), dst.tolist())
+            ),
+        )
+        candidate = case.with_graph(flat)
+        if fails(candidate):
+            case = candidate
+
+    # 2-3. Structural reduction (explicit-edge cases only).
+    if case.graph.kind == "edges":
+        edges = list(case.graph.edges)
+        n = case.graph.num_vertices
+        edges = _ddmin_edges(case, edges, n, fails)
+        case = case.with_graph(
+            CaseGraph(kind="edges", num_vertices=n, edges=tuple(edges))
+        )
+        edges, n = _drop_vertices(case, edges, n, fails)
+        case = case.with_graph(
+            CaseGraph(kind="edges", num_vertices=n, edges=tuple(edges))
+        )
+
+    # 4. Configuration minimization.
+    case = _minimize_config(case, fails)
+
+    final = run_case(case, planted=planted)
+    return ShrinkResult(
+        case=replace(case, note=case.note or "shrunk by repro.fuzz.shrink"),
+        kinds=final.kinds(),
+        evaluations=budget.used,
+        original_edges=original_edges,
+        original_vertices=original_vertices,
+    )

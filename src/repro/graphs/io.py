@@ -30,6 +30,28 @@ __all__ = [
 PathLike = Union[str, os.PathLike]
 
 
+def _header_num_vertices(path: Path) -> int | None:
+    """Parse SNAP's ``# Nodes: N`` comment from the file's header block.
+
+    Only the leading run of comment lines is scanned, so the cost is
+    O(header) regardless of file size.  Returns ``None`` when no such
+    comment exists (plain edge lists).
+    """
+    import re
+
+    with path.open("r", encoding="utf-8", errors="replace") as fh:
+        for raw in fh:
+            line = raw.strip()
+            if not line:
+                continue
+            if not line.startswith("#"):
+                return None
+            match = re.search(r"Nodes:\s*(\d+)", line)
+            if match:
+                return int(match.group(1))
+    return None
+
+
 def _locate_bad_line(path: Path) -> tuple[int, str]:
     """Find the first data line of *path* that is not two integers.
 
@@ -63,10 +85,18 @@ def read_edge_list(path: PathLike, num_vertices: int | None = None) -> CSRGraph:
     carrying the 1-based ``line_number`` and offending ``line_text`` —
     the parse itself stays on the fast ``np.loadtxt`` path and the file
     is only re-scanned to locate the bad line once a failure is certain.
+
+    When *num_vertices* is not given, a SNAP-style ``# Nodes: N``
+    header comment supplies the vertex count, so isolated top-index
+    vertices (invisible in the edge lines) survive a
+    :func:`write_edge_list` round trip; a header smaller than the
+    edges' actual id range is treated as stale and widened rather than
+    rejected.
     """
     import warnings
 
     path = Path(path)
+    header_n = _header_num_vertices(path) if num_vertices is None else None
     try:
         with warnings.catch_warnings():
             warnings.filterwarnings("ignore", message=".*no data.*")
@@ -84,7 +114,7 @@ def read_edge_list(path: PathLike, num_vertices: int | None = None) -> CSRGraph:
         return from_edges(
             np.zeros(0, dtype=np.int64),
             np.zeros(0, dtype=np.int64),
-            num_vertices=num_vertices or 0,
+            num_vertices=num_vertices or header_n or 0,
         )
     if data.shape[1] != 2:
         lineno, text = _locate_bad_line(path)
@@ -100,6 +130,8 @@ def read_edge_list(path: PathLike, num_vertices: int | None = None) -> CSRGraph:
             line_number=lineno or None,
             line_text=text or None,
         )
+    if num_vertices is None and header_n is not None:
+        num_vertices = max(header_n, int(data.max()) + 1)
     return from_edges(data[:, 0], data[:, 1], num_vertices=num_vertices)
 
 

@@ -8,34 +8,55 @@ trial) cell as JSON and rewrites the file **atomically** (temp file +
 any instant leaves either the previous consistent checkpoint or the
 new one — never a torn file.
 
-The file carries a format ``version`` and the sweep's identifying
-``meta`` (scale, beta, seed, ...).  Resuming validates both: a version
-this code does not understand, or a meta mismatch (resuming a
-``beta=0.2`` sweep with ``--beta 0.5``) raises
-:class:`~repro.errors.CheckpointError` instead of silently mixing
-incompatible cells.  Because every simulated quantity in this package
-is a pure function of (algorithm, graph, seed), replaying the
-checkpointed cells verbatim reproduces the uninterrupted run's output
-exactly (the wall-clock field is the single nondeterministic extra,
-and it is carried *from the checkpoint*, not re-measured).
+The file carries a format ``version``, the sweep's identifying
+``meta`` (scale, beta, seed, ...) and a SHA-256 ``checksum`` over its
+own content.  Resuming validates all three: a version this code does
+not understand, or a meta mismatch (resuming a ``beta=0.2`` sweep with
+``--beta 0.5``) raises :class:`~repro.errors.CheckpointError` instead
+of silently mixing incompatible cells, and a checksum mismatch marks
+the file as corrupt.  Each save also rotates the previous file to a
+``.bak`` sibling, so when the main file is corrupt (truncated by a
+full disk, chewed by an editor, bit-flipped) :meth:`SweepCheckpoint.load`
+falls back to the last intact version with a warning — only when both
+copies are unusable does it raise.  Because every simulated quantity
+in this package is a pure function of (algorithm, graph, seed),
+replaying the checkpointed cells verbatim reproduces the uninterrupted
+run's output exactly (the wall-clock field is the single
+nondeterministic extra, and it is carried *from the checkpoint*, not
+re-measured).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import warnings
 from pathlib import Path
 from typing import Dict, Optional, Union
 
 from repro.errors import CheckpointError
 from repro.fsutil import atomic_write_text
 
-__all__ = ["SweepCheckpoint", "CHECKPOINT_VERSION", "cell_key"]
+__all__ = ["SweepCheckpoint", "CHECKPOINT_VERSION", "backup_path", "cell_key"]
 
-#: Bump when the on-disk layout changes incompatibly.
-CHECKPOINT_VERSION = 1
+#: Bump when the on-disk layout changes incompatibly.  Version 1 files
+#: (no checksum) are still accepted on load.
+CHECKPOINT_VERSION = 2
 
 PathLike = Union[str, os.PathLike]
+
+
+def backup_path(path: PathLike) -> Path:
+    """The ``.bak`` sibling a checkpoint rotates to on each save."""
+    p = Path(path)
+    return p.with_name(p.name + ".bak")
+
+
+def _body_checksum(body: Dict[str, object]) -> str:
+    """SHA-256 over the canonical JSON of the checkpoint body."""
+    canon = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
 
 
 def cell_key(algorithm: str, graph: str, trial: int = 0) -> str:
@@ -63,19 +84,14 @@ class SweepCheckpoint:
 
     # -- persistence -------------------------------------------------------
 
-    @classmethod
-    def load(
-        cls, path: PathLike, meta: Optional[Dict[str, object]] = None
-    ) -> "SweepCheckpoint":
-        """Load an existing checkpoint (or start empty if *path* is absent).
+    @staticmethod
+    def _parse_file(p: Path) -> Dict[str, object]:
+        """Read and integrity-check one checkpoint file.
 
         Raises :class:`CheckpointError` on unreadable/corrupt files,
-        unknown versions, or a *meta* mismatch.
+        checksum mismatches and unknown versions; *meta* validation is
+        separate (a wrong-sweep file is valid, just not resumable here).
         """
-        ckpt = cls(path, meta=meta)
-        p = Path(path)
-        if not p.exists():
-            return ckpt
         try:
             data = json.loads(p.read_text(encoding="utf-8"))
         except (OSError, json.JSONDecodeError) as exc:
@@ -83,10 +99,58 @@ class SweepCheckpoint:
         if not isinstance(data, dict) or "version" not in data:
             raise CheckpointError(f"{p} is not a sweep checkpoint")
         version = data["version"]
-        if version != CHECKPOINT_VERSION:
+        if version not in (1, CHECKPOINT_VERSION):
             raise CheckpointError(
                 f"checkpoint {p} has version {version}; this code understands "
-                f"version {CHECKPOINT_VERSION}"
+                f"versions 1 and {CHECKPOINT_VERSION}"
+            )
+        if version >= 2:
+            stored = data.get("checksum")
+            body = {k: v for k, v in data.items() if k != "checksum"}
+            expected = _body_checksum(body)
+            if stored != expected:
+                raise CheckpointError(
+                    f"checkpoint {p} fails its integrity check "
+                    f"(checksum {stored!r}, content hashes to {expected!r})"
+                )
+        cells = data.get("cells", {})
+        if not isinstance(cells, dict):
+            raise CheckpointError(f"checkpoint {p} has a malformed cell table")
+        return data
+
+    @classmethod
+    def load(
+        cls, path: PathLike, meta: Optional[Dict[str, object]] = None
+    ) -> "SweepCheckpoint":
+        """Load an existing checkpoint (or start empty if *path* is absent).
+
+        A corrupt main file falls back to the ``.bak`` rotation with a
+        :class:`RuntimeWarning`; :class:`CheckpointError` is raised when
+        no intact version exists, on unknown versions, or on a *meta*
+        mismatch.
+        """
+        ckpt = cls(path, meta=meta)
+        p = Path(path)
+        if not p.exists():
+            return ckpt
+        bak = backup_path(p)
+        try:
+            data = cls._parse_file(p)
+        except CheckpointError as exc:
+            if not bak.exists():
+                raise
+            try:
+                data = cls._parse_file(bak)
+            except CheckpointError as bak_exc:
+                raise CheckpointError(
+                    f"cannot read checkpoint {p} ({exc}) and its backup "
+                    f"{bak} is also unusable ({bak_exc})"
+                ) from exc
+            warnings.warn(
+                f"checkpoint {p} is corrupt ({exc}); resuming from backup "
+                f"{bak} ({len(data.get('cells', {}))} cells)",
+                RuntimeWarning,
+                stacklevel=2,
             )
         stored_meta = data.get("meta", {})
         if meta is not None and stored_meta and stored_meta != dict(meta):
@@ -100,19 +164,28 @@ class SweepCheckpoint:
                 f"{diffs} (stored, requested)"
             )
         ckpt.meta = dict(stored_meta or (meta or {}))
-        cells = data.get("cells", {})
-        if not isinstance(cells, dict):
-            raise CheckpointError(f"checkpoint {p} has a malformed cell table")
-        ckpt.cells = cells
+        ckpt.cells = data.get("cells", {})
         return ckpt
 
     def save(self) -> None:
-        """Atomically rewrite the checkpoint file."""
-        payload = {
+        """Atomically rewrite the checkpoint file, rotating a backup.
+
+        The previous file's bytes are copied to the ``.bak`` sibling
+        *before* the rewrite, so the main path always holds either the
+        old or the new checkpoint and the backup trails by one save.
+        """
+        if self.path.exists():
+            try:
+                backup_path(self.path).write_bytes(self.path.read_bytes())
+            except OSError:
+                # A failed rotation must not block checkpointing itself.
+                pass
+        body = {
             "version": CHECKPOINT_VERSION,
             "meta": self.meta,
             "cells": self.cells,
         }
+        payload = dict(body, checksum=_body_checksum(body))
         atomic_write_text(self.path, json.dumps(payload, indent=2, sort_keys=True))
 
     # -- cell accounting ---------------------------------------------------

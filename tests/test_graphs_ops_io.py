@@ -187,6 +187,79 @@ class TestIO:
         assert np.array_equal(g.targets, h.targets)
 
 
+class TestDegenerateInputs:
+    """Empty, self-loop-only and isolated-vertex inputs build and load."""
+
+    def test_builder_empty_edge_list(self):
+        g = from_edges(np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64))
+        assert g.num_vertices == 0 and g.num_edges == 0
+
+    def test_builder_empty_with_vertices(self):
+        g = from_edges(
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            num_vertices=7,
+        )
+        assert g.num_vertices == 7 and g.num_edges == 0
+        assert isolated_vertices(g).tolist() == list(range(7))
+
+    def test_builder_all_self_loops(self):
+        g = from_edges(np.array([0, 3, 5]), np.array([0, 3, 5]))
+        assert g.num_vertices == 6 and g.num_edges == 0
+
+    def test_builder_isolated_max_index_vertex(self):
+        g = from_edges(np.array([0]), np.array([1]), num_vertices=10)
+        assert g.num_vertices == 10
+        assert g.degrees[9] == 0
+
+    def test_builder_negative_id_rejected(self):
+        with pytest.raises(GraphFormatError, match="negative"):
+            from_edges(np.array([0, -2]), np.array([1, 3]), num_vertices=4)
+
+    def test_read_all_self_loop_file(self, tmp_path):
+        path = tmp_path / "loops.txt"
+        path.write_text("0 0\n4 4\n2 2\n")
+        g = read_edge_list(path)
+        assert g.num_vertices == 5 and g.num_edges == 0
+
+    def test_read_truly_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        g = read_edge_list(path)
+        assert g.num_vertices == 0 and g.num_edges == 0
+
+    def test_nodes_header_preserves_isolated_vertices(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# Nodes: 9 Edges: 1\n0\t1\n")
+        g = read_edge_list(path)
+        assert g.num_vertices == 9 and g.num_edges == 1
+
+    def test_stale_nodes_header_is_widened(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# Nodes: 2 Edges: 2\n0\t1\n5\t6\n")
+        g = read_edge_list(path)
+        assert g.num_vertices == 7
+
+    def test_roundtrip_keeps_trailing_isolated_vertex(self, tmp_path):
+        g = from_edges(np.array([0]), np.array([1]), num_vertices=12)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        h = read_edge_list(path)
+        assert h.num_vertices == 12
+        assert np.array_equal(g.offsets, h.offsets)
+
+    def test_roundtrip_edgeless_graph(self, tmp_path):
+        g = from_edges(
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            num_vertices=4,
+        )
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        h = read_edge_list(path)
+        assert h.num_vertices == 4 and h.num_edges == 0
+
+
 class TestAtomicWrites:
     def test_writers_leave_no_temp_files(self, tmp_path):
         g = random_kregular(40, 3, seed=2)

@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+import repro.resilience.checkpoint as checkpoint_module
 from repro.errors import CheckpointError
 from repro.graphs import line_graph, random_kregular
 from repro.resilience import (
@@ -12,6 +13,7 @@ from repro.resilience import (
     SweepCheckpoint,
     cell_key,
 )
+from repro.resilience.checkpoint import backup_path
 
 
 class TestCellKey:
@@ -40,7 +42,11 @@ class TestSweepCheckpoint:
         ckpt = SweepCheckpoint(path)
         for i in range(3):
             ckpt.record("serial-SF", f"g{i}", {"1": float(i)})
-        assert sorted(p.name for p in tmp_path.iterdir()) == ["ckpt.json"]
+        # Only the checkpoint and its backup rotation — no temp litter.
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "ckpt.json",
+            "ckpt.json.bak",
+        ]
 
     def test_file_is_versioned_json(self, tmp_path):
         path = tmp_path / "ckpt.json"
@@ -81,6 +87,68 @@ class TestSweepCheckpoint:
         SweepCheckpoint(path, meta={"beta": 0.2}).record("a", "g", {"1": 1.0})
         ckpt = SweepCheckpoint.load(path, meta={"beta": 0.2})
         assert ckpt.completed == 1
+
+
+class TestChecksumAndBackup:
+    def test_file_carries_valid_checksum(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        SweepCheckpoint(path).record("a", "g", {"1": 1.0})
+        data = json.loads(path.read_text())
+        body = {k: v for k, v in data.items() if k != "checksum"}
+        assert data["checksum"] == checkpoint_module._body_checksum(body)
+
+    def test_bitflip_detected_as_corrupt(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        SweepCheckpoint(path).record("a", "g", {"1": 1.0})
+        data = json.loads(path.read_text())
+        data["cells"]["a|g|0"] = {"1": 2.0}  # tampered, checksum now stale
+        path.write_text(json.dumps(data))
+        backup_path(path).unlink(missing_ok=True)
+        with pytest.raises(CheckpointError, match="integrity"):
+            SweepCheckpoint.load(path)
+
+    def test_corrupt_main_falls_back_to_backup_with_warning(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        ckpt = SweepCheckpoint(path)
+        ckpt.record("a", "g0", {"1": 1.0})
+        ckpt.record("a", "g1", {"1": 2.0})  # rotates the 1-cell file to .bak
+        path.write_text("{truncated")
+        with pytest.warns(RuntimeWarning, match="resuming from backup"):
+            recovered = SweepCheckpoint.load(path)
+        assert recovered.completed == 1
+        assert recovered.has("a", "g0")
+
+    def test_both_copies_corrupt_raises(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        ckpt = SweepCheckpoint(path)
+        ckpt.record("a", "g0", {"1": 1.0})
+        ckpt.record("a", "g1", {"1": 2.0})
+        path.write_text("{truncated")
+        backup_path(path).write_text("also junk")
+        with pytest.raises(CheckpointError, match="cannot read"):
+            SweepCheckpoint.load(path)
+
+    def test_version1_file_without_checksum_still_loads(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text(
+            json.dumps(
+                {"version": 1, "meta": {}, "cells": {"a|g|0": {"1": 1.0}}}
+            )
+        )
+        ckpt = SweepCheckpoint.load(path)
+        assert ckpt.completed == 1
+
+    def test_resume_after_fallback_repairs_main_file(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        ckpt = SweepCheckpoint(path)
+        ckpt.record("a", "g0", {"1": 1.0})
+        ckpt.record("a", "g1", {"1": 2.0})
+        path.write_text("{truncated")
+        with pytest.warns(RuntimeWarning):
+            recovered = SweepCheckpoint.load(path)
+        recovered.record("a", "g2", {"1": 3.0})
+        reread = SweepCheckpoint.load(path)
+        assert reread.completed == 2  # g0 from backup + the new g2
 
 
 def _small_sweep():
