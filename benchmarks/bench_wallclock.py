@@ -24,6 +24,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import platform
 import sys
 from typing import List, Optional
 
@@ -71,6 +72,13 @@ def test_wallclock_trajectory(wallclock, tmp_path):
     write_json(wallclock, str(out))
     reread = json.loads(out.read_text())
     assert reread["meta"]["scale"] == SCALE
+    # Environment + execution-context provenance must ride with the
+    # numbers, or archived artifacts are not comparable across machines.
+    assert reread["meta"]["python"] == platform.python_version()
+    assert reread["meta"]["numpy"]
+    assert reread["meta"]["platform"]
+    assert reread["meta"]["context"]["backend"] in ("reference", "fast")
+    assert reread["meta"]["context"]["sanitize"] is False
     assert set(reread["kernels"]) == {
         "first_winner", "radix_argsort", "expand", "hash_dedup",
     }

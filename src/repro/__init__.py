@@ -24,6 +24,13 @@ Simulated-machine timing (the paper's 40-core experiments)::
 Experiment harness (regenerates every table and figure)::
 
     from repro.experiments import run_table2, run_figure2
+
+Runtime sessions (load a graph once, run and query many times)::
+
+    from repro.runtime import Session
+    s = Session("rMat", scale="small")
+    s.connected(0, 1)               # memoized after the first labeling
+    sizes = s.component_sizes()     # {component label: vertex count}
 """
 
 __version__ = "1.0.0"

@@ -30,7 +30,7 @@ from repro.errors import LintConfigError
 __all__ = ["AllowEntry", "LintConfig", "load_config"]
 
 #: The rule ids the analyzer implements (see docs/static_analysis.md).
-KNOWN_RULES = ("RL001", "RL002", "RL003", "RL004")
+KNOWN_RULES = ("RL001", "RL002", "RL003", "RL004", "RL005")
 
 
 @dataclass

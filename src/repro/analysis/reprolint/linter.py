@@ -49,16 +49,25 @@ RULE_SCOPES: Dict[str, Tuple[str, ...]] = {
         "src/repro/connectivity/",
     ),
     "RL004": ("src/repro/",),
+    "RL005": ("src/repro/",),
 }
 
 #: Carve-outs from RL004's blanket scope: the wall-clock harness and
 #: the experiment/benchmark layers measure real elapsed time by design,
-#: and the fuzz loop enforces its ``--time-budget`` stopping condition.
+#: the fuzz loop enforces its ``--time-budget`` stopping condition, and
+#: the session layer's ``execute_profiled`` reports real run time in
+#: its profiles (it *is* the run harness).
 RL004_EXEMPT: Tuple[str, ...] = (
     "src/repro/analysis/wallclock.py",
     "src/repro/experiments/",
     "src/repro/fuzz/harness.py",
+    "src/repro/runtime/session.py",
 )
+
+#: Carve-out from RL005's blanket scope: the runtime package hosts the
+#: replacement API, so reads of the deprecated names there are the
+#: shims' own implementation plumbing, not call sites to migrate.
+RL005_EXEMPT: Tuple[str, ...] = ("src/repro/runtime/",)
 
 
 def path_key_for(path: Path) -> str:
@@ -89,6 +98,11 @@ def rules_for_path(path_key: str) -> List[str]:
         if rule == "RL004" and any(
             path_key == p or (p.endswith("/") and path_key.startswith(p))
             for p in RL004_EXEMPT
+        ):
+            continue
+        if rule == "RL005" and any(
+            path_key == p or (p.endswith("/") and path_key.startswith(p))
+            for p in RL005_EXEMPT
         ):
             continue
         selected.append(rule)

@@ -22,6 +22,7 @@ to read the output.
 from __future__ import annotations
 
 import json
+import platform
 import time
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -40,6 +41,7 @@ from repro.pram.cost import tracking
 from repro.primitives.atomics import first_winner
 from repro.primitives.hashing import dedup
 from repro.primitives.sort import radix_argsort
+from repro.runtime.context import current_context
 
 __all__ = [
     "DEFAULT_GRAPHS",
@@ -202,8 +204,12 @@ def run_wallclock_suite(
     """The full wall-clock trajectory: kernels + end-to-end, one dict.
 
     JSON-shaped; ``benchmarks/bench_wallclock.py`` writes it to
-    ``BENCH_wallclock.json`` and asserts the speedup floors.
+    ``BENCH_wallclock.json`` and asserts the speedup floors.  ``meta``
+    records the execution environment (python/numpy versions, platform)
+    and the ambient execution-context configuration, so archived bench
+    artifacts are comparable across machines and context setups.
     """
+    ctx = current_context()
     return {
         "meta": {
             "scale": scale,
@@ -214,6 +220,17 @@ def run_wallclock_suite(
             "default_backend": DEFAULT_BACKEND_NAME,
             "algorithm": "decomp-arb-CC",
             "timer": "best-of wall clock (time.perf_counter)",
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "numpy": np.__version__,
+            "context": {
+                "backend": ctx.backend.name,
+                "sanitize": ctx.sanitizer is not None,
+                "fault_plan": ctx.fault_plan is not None,
+                "seed": ctx.seed,
+            },
         },
         "kernels": kernel_microbench(
             scale=scale, repeats=repeats, backends=backends, seed=seed

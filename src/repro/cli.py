@@ -46,11 +46,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.engine.backend import (
-    BACKENDS,
-    DEFAULT_BACKEND_NAME,
-    set_default_backend,
-)
+from repro.engine.backend import BACKENDS, DEFAULT_BACKEND_NAME, resolve_backend
 from repro.errors import ParameterError, ReproError
 from repro.experiments import (
     ALGORITHMS,
@@ -538,15 +534,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "repro.pram.sanitizing() to sanitize the reference "
                 "backend directly)"
             )
-        set_default_backend(args.backend)
-        if not args.sanitize:
-            return _COMMANDS[args.command](args)
+        # One execution context for the whole command: the --backend
+        # and --sanitize flags become context fields, and every run the
+        # command performs derives its child context from this one.
+        from repro.runtime.context import current_context
 
-        from repro.pram.sanitizer import sanitizing
+        overrides: dict = {"backend": resolve_backend(args.backend)}
+        sanitizer = None
+        if args.sanitize:
+            from repro.pram.sanitizer import PramSanitizer
 
-        with sanitizing() as sanitizer:
+            sanitizer = PramSanitizer(halt_on_race=True)
+            overrides["sanitizer"] = sanitizer
+        with current_context().child(**overrides).activate():
             code = _COMMANDS[args.command](args)
-        print(f"sanitizer  : {sanitizer.summary()}", file=sys.stderr)
+        if sanitizer is not None:
+            print(f"sanitizer  : {sanitizer.summary()}", file=sys.stderr)
         return code
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

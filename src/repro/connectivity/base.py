@@ -16,7 +16,7 @@ from typing import Dict, List
 
 import numpy as np
 
-from repro.pram.cost import current_tracker
+from repro.runtime.context import current_context
 
 __all__ = ["ConnectivityResult", "canonicalize_labels", "num_components"]
 
@@ -68,7 +68,7 @@ def canonicalize_labels(labels: np.ndarray) -> np.ndarray:
     canonical forms are identical arrays.
     """
     labels = np.asarray(labels)
-    current_tracker().add("scan", work=float(labels.size), depth=1.0)
+    current_context().tracker.add("scan", work=float(labels.size), depth=1.0)
     _, first_index, inverse = np.unique(
         labels, return_index=True, return_inverse=True
     )

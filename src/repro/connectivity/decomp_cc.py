@@ -28,7 +28,7 @@ from repro.decomp import DECOMP_VARIANTS
 from repro.decomp.contract import Contraction, contract
 from repro.errors import ConvergenceError, ParameterError
 from repro.graphs.csr import CSRGraph
-from repro.pram.cost import current_tracker
+from repro.runtime.context import current_context
 
 __all__ = ["decomp_cc", "DEFAULT_BETA"]
 
@@ -87,7 +87,7 @@ def decomp_cc(
             f"unknown variant {variant!r}; expected one of {sorted(DECOMP_VARIANTS)}"
         )
     decomp_fn = DECOMP_VARIANTS[variant]
-    tracker = current_tracker()
+    tracker = current_context().tracker
 
     # ---- downward pass: decompose + contract until |E'| = 0. --------
     current = graph

@@ -30,14 +30,12 @@ from typing import List
 import numpy as np
 
 from repro.connectivity.base import ConnectivityResult
-from repro.engine.backend import current_backend
 from repro.engine.core import UNVISITED, TraversalEngine
 from repro.engine.direction import LigraEdgeHybrid
 from repro.engine.frontier import DENSE_THRESHOLD
 from repro.engine.state import ComponentLabelState
-from repro.engine.workspace import make_workspace
 from repro.graphs.csr import CSRGraph
-from repro.pram.cost import current_tracker
+from repro.runtime.context import current_context
 
 __all__ = ["hybrid_bfs_cc", "bfs_from_source"]
 
@@ -76,13 +74,13 @@ def hybrid_bfs_cc(
     Components are discovered in vertex-id order; the next source is
     found with a monotone cursor (amortized O(n) across the whole run).
     """
-    tracker = current_tracker()
+    tracker = current_context().tracker
     n = graph.num_vertices
     labels = np.full(n, _UNLABELED, dtype=np.int64)
     tracker.add("alloc", work=float(n), depth=1.0)
     # One arena for the whole run: rMat-style graphs have millions of
     # components, and a per-component workspace would never amortize.
-    workspace = make_workspace(current_backend(), n)
+    workspace = current_context().acquire_workspace(n)
 
     num_components = 0
     component_sizes: List[int] = []

@@ -21,8 +21,8 @@ import numpy as np
 from repro.connectivity.base import ConnectivityResult
 from repro.errors import ConvergenceError
 from repro.graphs.csr import CSRGraph
-from repro.pram.cost import current_tracker
 from repro.primitives.atomics import write_min
+from repro.runtime.context import current_context
 
 __all__ = ["label_prop_cc", "propagate_labels"]
 
@@ -40,7 +40,7 @@ def propagate_labels(
     both endpoints active participate (multistep-CC's second stage runs
     on the vertices the giant-component BFS did not reach).
     """
-    tracker = current_tracker()
+    tracker = current_context().tracker
     src, dst = graph.edge_array()
     if active_mask is not None:
         keep = active_mask[src] & active_mask[dst]
@@ -63,7 +63,7 @@ def propagate_labels(
 
 def label_prop_cc(graph: CSRGraph) -> ConnectivityResult:
     """Connected components by min-label propagation."""
-    tracker = current_tracker()
+    tracker = current_context().tracker
     labels = np.arange(graph.num_vertices, dtype=np.int64)
     tracker.add("alloc", work=float(graph.num_vertices), depth=1.0)
     sweeps = propagate_labels(graph, labels)

@@ -19,7 +19,7 @@ from repro.connectivity.base import ConnectivityResult
 from repro.connectivity.hybrid_bfs_cc import bfs_from_source
 from repro.connectivity.label_prop import propagate_labels
 from repro.graphs.csr import CSRGraph
-from repro.pram.cost import current_tracker
+from repro.runtime.context import current_context
 
 __all__ = ["multistep_cc"]
 
@@ -34,7 +34,7 @@ def multistep_cc(
     The BFS source is the maximum-degree vertex (Slota et al.'s
     heuristic for hitting the giant component).
     """
-    tracker = current_tracker()
+    tracker = current_context().tracker
     n = graph.num_vertices
     labels = np.full(n, _UNLABELED, dtype=np.int64)
     tracker.add("alloc", work=float(n), depth=1.0)

@@ -30,8 +30,8 @@ from repro.connectivity.union_find import compress_all, find_roots
 from repro.errors import ConvergenceError
 from repro.graphs.csr import CSRGraph
 from repro.graphs.ops import edges_as_undirected_pairs
-from repro.pram.cost import current_tracker
 from repro.primitives.atomics import write_min
+from repro.runtime.context import current_context
 
 __all__ = ["parallel_sf_pbbs_cc"]
 
@@ -45,7 +45,7 @@ def parallel_sf_pbbs_cc(graph: CSRGraph) -> ConnectivityResult:
     Includes the root-finding post-pass (pointer jumping to full
     compression), per the paper's timing methodology.
     """
-    tracker = current_tracker()
+    tracker = current_context().tracker
     n = graph.num_vertices
     src, dst = edges_as_undirected_pairs(graph)
     parent = np.arange(n, dtype=np.int64)

@@ -28,8 +28,8 @@ from repro.connectivity.union_find import compress_all, find_roots
 from repro.errors import ConvergenceError
 from repro.graphs.csr import CSRGraph
 from repro.graphs.ops import edges_as_undirected_pairs
-from repro.pram.cost import current_tracker
 from repro.primitives.atomics import first_winner
+from repro.runtime.context import current_context
 
 __all__ = ["parallel_sf_prm_cc"]
 
@@ -38,7 +38,7 @@ _MAX_ROUNDS = 10_000
 
 def parallel_sf_prm_cc(graph: CSRGraph) -> ConnectivityResult:
     """Connected components via lock-based parallel union-find forest."""
-    tracker = current_tracker()
+    tracker = current_context().tracker
     n = graph.num_vertices
     src, dst = edges_as_undirected_pairs(graph)
     parent = np.arange(n, dtype=np.int64)

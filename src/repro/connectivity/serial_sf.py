@@ -22,7 +22,8 @@ from repro.connectivity.base import ConnectivityResult
 from repro.connectivity.union_find import UnionFind
 from repro.graphs.csr import CSRGraph
 from repro.graphs.ops import edges_as_undirected_pairs
-from repro.pram.cost import CostTracker, current_tracker, tracking
+from repro.pram.cost import CostTracker, tracking
+from repro.runtime.context import current_context
 
 __all__ = ["serial_sf_cc", "serial_spanning_forest"]
 
@@ -40,7 +41,7 @@ def serial_spanning_forest(
     with tracking(CostTracker()) as sub:
         src, dst = edges_as_undirected_pairs(graph)
         uf = UnionFind(graph.num_vertices)
-    current_tracker().add("seq", work=sub.total_work(), depth=0.0)
+    current_context().tracker.add("seq", work=sub.total_work(), depth=0.0)
     forest: List[Tuple[int, int]] = []
     forest_append = forest.append
     union = uf.union

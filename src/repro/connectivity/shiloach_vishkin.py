@@ -22,8 +22,8 @@ from repro.connectivity.base import ConnectivityResult
 from repro.connectivity.union_find import compress_all
 from repro.errors import ConvergenceError
 from repro.graphs.csr import CSRGraph
-from repro.pram.cost import current_tracker
 from repro.primitives.atomics import write_min
+from repro.runtime.context import current_context
 
 __all__ = ["shiloach_vishkin_cc"]
 
@@ -32,7 +32,7 @@ _MAX_ROUNDS = 10_000
 
 def shiloach_vishkin_cc(graph: CSRGraph) -> ConnectivityResult:
     """Connected components via Shiloach-Vishkin hook-and-shortcut."""
-    tracker = current_tracker()
+    tracker = current_context().tracker
     n = graph.num_vertices
     src, dst = graph.edge_array()
     parent = np.arange(n, dtype=np.int64)

@@ -36,8 +36,8 @@ from repro.engine.core import TraversalEngine, TraversalState, end_round
 from repro.engine.direction import AlwaysPush
 from repro.errors import ParameterError, VerificationError
 from repro.graphs.csr import CSRGraph
-from repro.pram.cost import current_tracker
 from repro.primitives.atomics import first_winner
+from repro.runtime.context import current_context
 
 __all__ = ["decomp_spanning_forest", "partition_parents", "verify_spanning_forest"]
 
@@ -79,7 +79,7 @@ class _PartitionParentState(TraversalState):
     def initial_frontier(self) -> np.ndarray:
         centers = np.unique(self.labels)
         self.reached[centers] = True
-        current_tracker().add("scatter", work=float(centers.size), depth=1.0)
+        current_context().tracker.add("scatter", work=float(centers.size), depth=1.0)
         return centers
 
     def begin_round(self, engine, next_frontier: np.ndarray) -> None:
@@ -89,7 +89,7 @@ class _PartitionParentState(TraversalState):
         src, dst = self.graph.expand(self._frontier)
         same = self.labels[src] == self.labels[dst]
         fresh = same & ~self.reached[dst]
-        current_tracker().add("gather", work=float(2 * dst.size), depth=1.0)
+        current_context().tracker.add("gather", work=float(2 * dst.size), depth=1.0)
         if not fresh.any():
             # dead frontier: no claim and no barrier, the engine's next
             # begin_round sees the empty frontier and stops

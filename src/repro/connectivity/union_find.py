@@ -24,7 +24,7 @@ from typing import List
 
 import numpy as np
 
-from repro.pram.cost import current_tracker
+from repro.runtime.context import current_context
 
 __all__ = ["UnionFind", "find_roots", "compress_all", "pointer_jump_to_roots"]
 
@@ -62,7 +62,7 @@ class UnionFind:
         self.parent: List[int] = list(range(n))
         self.rank: List[int] = [0] * n
         self._ops = 0
-        current_tracker().add("alloc", work=float(2 * n), depth=1.0)
+        current_context().tracker.add("alloc", work=float(2 * n), depth=1.0)
 
     def find(self, x: int) -> int:
         """Root of x's set, compressing per the selected strategy."""
@@ -116,7 +116,7 @@ class UnionFind:
         path once — charging depth too would double-count it.
         """
         if self._ops:
-            current_tracker().add("seq", work=float(self._ops), depth=0.0)
+            current_context().tracker.add("seq", work=float(self._ops), depth=0.0)
             self._ops = 0
 
     def components(self) -> np.ndarray:
@@ -136,7 +136,7 @@ def find_roots(parent: np.ndarray, vertices: np.ndarray) -> np.ndarray:
     ``find`` used by the spanning-forest baselines.  Does not mutate
     *parent*.
     """
-    tracker = current_tracker()
+    tracker = current_context().tracker
     cur = parent[np.asarray(vertices, dtype=np.int64)]
     rounds = 0
     while True:
@@ -160,7 +160,7 @@ def compress_all(parent: np.ndarray) -> int:
     post-processing step the paper includes in the SF baselines'
     timings.
     """
-    tracker = current_tracker()
+    tracker = current_context().tracker
     rounds = 0
     while True:
         grand = parent[parent]
@@ -174,6 +174,6 @@ def compress_all(parent: np.ndarray) -> int:
 def pointer_jump_to_roots(parent: np.ndarray) -> np.ndarray:
     """Non-mutating variant of :func:`compress_all`; returns root labels."""
     out = parent.copy()
-    current_tracker().add("alloc", work=float(parent.size), depth=1.0)
+    current_context().tracker.add("alloc", work=float(parent.size), depth=1.0)
     compress_all(out)
     return out

@@ -24,16 +24,12 @@ from typing import List, Optional
 import numpy as np
 
 from repro.decomp.shifts import ShiftSchedule
-from repro.engine.backend import current_backend
 from repro.engine.core import UNVISITED, TraversalEngine, TraversalState, end_round
 from repro.engine.kernels import dense_round, filter_edges
-from repro.engine.workspace import make_workspace
 from repro.errors import ParameterError
 from repro.graphs.csr import CSRGraph
-from repro.pram.cost import current_tracker
-from repro.pram.sanitizer import active_sanitizer
-from repro.resilience.faults import active_fault_plan
 from repro.resilience.policy import RoundBudget
+from repro.runtime.context import current_context
 
 __all__ = ["Decomposition", "DecompState", "UNVISITED", "validate_beta"]
 
@@ -140,7 +136,7 @@ class DecompState(TraversalState):
             if budget is not None
             else RoundBudget.for_decomposition(n, beta, algorithm=algorithm)
         )
-        tracker = current_tracker()
+        tracker = current_context().tracker
         with tracker.phase("init"):
             self.schedule = ShiftSchedule(
                 n=n, beta=beta, seed=seed, mode=mode  # type: ignore[arg-type]
@@ -151,7 +147,7 @@ class DecompState(TraversalState):
         # scratch arrays through this (a NullWorkspace under the
         # reference backend).  Never charged — it changes how rounds
         # run, not what they compute or cost.
-        self.workspace = make_workspace(current_backend(), n)
+        self.workspace = current_context().acquire_workspace(n)
         self.frontier = np.zeros(0, dtype=np.int64)
         self.consumed = 0
         self.visited = 0
@@ -200,13 +196,13 @@ class DecompState(TraversalState):
         return engine.tiebreak.push_round(self, engine)
 
     def pull_round(self, engine: TraversalEngine) -> np.ndarray:
-        with current_tracker().phase("bfsDense"):
+        with current_context().tracker.phase("bfsDense"):
             return dense_round(self)
 
     def finalize(self, engine: TraversalEngine) -> None:
         # A no-op (and charge-free) pass for push-only runs; for the
         # hybrids it classifies every edge the dense rounds skipped.
-        with current_tracker().phase("filterEdges"):
+        with current_context().tracker.phase("filterEdges"):
             filter_edges(self, self.deferred)
 
     def start_new_centers(self, next_frontier: np.ndarray) -> None:
@@ -224,8 +220,8 @@ class DecompState(TraversalState):
         armed :class:`~repro.resilience.faults.FaultPlan`.
         """
         self.budget.check(self.round)
-        tracker = current_tracker()
-        plan = active_fault_plan()
+        tracker = current_context().tracker
+        plan = current_context().fault_plan
         with tracker.phase("bfsPre"):
             cum = self.schedule.cumulative(self.round)
             candidates = self.schedule.order[self.consumed : cum]
@@ -233,7 +229,7 @@ class DecompState(TraversalState):
             tracker.add("gather", work=float(candidates.size), depth=1.0)
             fresh = candidates[self.C[candidates] == UNVISITED]
             if fresh.size:
-                sanitizer = active_sanitizer()
+                sanitizer = current_context().sanitizer
                 if sanitizer is not None:
                     # Self-claim seeding: distinct unvisited vertices,
                     # single writer each — declared, so the shadow check

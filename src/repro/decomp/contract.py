@@ -25,13 +25,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.decomp.base import Decomposition
-from repro.engine.backend import current_backend
 from repro.errors import GraphFormatError
 from repro.graphs.builder import from_directed_edges
 from repro.graphs.csr import CSRGraph
-from repro.pram.cost import current_tracker
 from repro.primitives.hashing import HashTable
 from repro.primitives.scan import exclusive_scan
+from repro.runtime.context import current_context
 
 __all__ = ["Contraction", "contract"]
 
@@ -128,7 +127,7 @@ def contract(
     labels = decomposition.labels
     if labels.shape != (num_vertices,):
         raise GraphFormatError("labels length must equal num_vertices")
-    tracker = current_tracker()
+    tracker = current_context().tracker
 
     # --- 1. dense renaming of the component labels (prefix sum). -----
     present = np.zeros(num_vertices, dtype=bool)
@@ -196,7 +195,7 @@ def contract(
         component_to_sub[dst],
         k_prime,
         symmetric=True,
-        validate=not current_backend().trusted_contraction,
+        validate=not current_context().backend.trusted_contraction,
     )
     return Contraction(
         graph=sub_graph,

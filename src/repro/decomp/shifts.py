@@ -33,14 +33,13 @@ from typing import Literal
 import numpy as np
 
 from repro.errors import ParameterError
-from repro.pram.cost import current_tracker
 from repro.primitives.rand import (
     exponential_shifts,
     hash_randoms,
     random_permutation,
 )
 from repro.primitives.sort import radix_argsort
-from repro.resilience.faults import active_fault_plan
+from repro.runtime.context import current_context
 
 __all__ = ["ShiftSchedule", "FRAC_BITS"]
 
@@ -81,7 +80,7 @@ class ShiftSchedule:
             raise ParameterError(f"beta must be in (0,1), got {self.beta}")
         if self.mode not in ("permutation", "exponential"):
             raise ParameterError(f"unknown schedule mode {self.mode!r}")
-        tracker = current_tracker()
+        tracker = current_context().tracker
         n = self.n
         self.frac = (
             hash_randoms(n, self.seed, stream=11) >> np.uint64(64 - FRAC_BITS)
@@ -155,7 +154,7 @@ class ShiftSchedule:
             raise ParameterError(f"round_index must be >= 0, got {round_index}")
         idx = min(round_index, self._cum_by_round.size - 1)
         cum = int(self._cum_by_round[idx])
-        plan = active_fault_plan()
+        plan = current_context().fault_plan
         if plan is not None:
             cum = plan.perturb_cumulative(round_index, cum, self.n)
         return cum

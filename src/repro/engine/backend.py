@@ -25,17 +25,20 @@ simulated cost model charges are explicit ``tracker.add`` calls
 computed from sizes, so the fast variants are free to change the
 NumPy execution underneath them.
 
-Selection: ``fast`` is the default.  Use :func:`set_default_backend`
-(the CLI's ``--backend`` flag calls it) to switch a whole process, or
-:func:`use_backend` to scope a switch to a ``with`` block (the parity
-tests do this).
+Selection: ``fast`` is the default.  The bound backend rides in the
+:class:`~repro.runtime.context.ExecutionContext`
+(``current_context().backend``); :func:`use_backend` scopes a switch
+to a ``with`` block by activating a derived context (the parity tests
+do this), and the CLI's ``--backend`` flag builds its command context
+with the chosen backend.  :func:`set_default_backend` survives as a
+deprecated shim that mutates the process-root context.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Union
+from typing import Dict, Iterator, Union
 
 from repro.errors import ParameterError
 
@@ -120,9 +123,6 @@ BACKENDS: Dict[str, ExecutionBackend] = {
 
 DEFAULT_BACKEND_NAME = FAST.name
 
-_default: ExecutionBackend = BACKENDS[DEFAULT_BACKEND_NAME]
-_stack: List[ExecutionBackend] = []
-
 
 def resolve_backend(
     spec: Union[str, ExecutionBackend, None],
@@ -142,26 +142,44 @@ def resolve_backend(
 
 
 def current_backend() -> ExecutionBackend:
-    """The backend new runs bind to (innermost :func:`use_backend` wins)."""
-    return _stack[-1] if _stack else _default
+    """The backend new runs bind to (the execution context's binding)."""
+    from repro.runtime.context import current_context
+
+    return current_context().backend
 
 
 def set_default_backend(
     spec: Union[str, ExecutionBackend],
 ) -> ExecutionBackend:
-    """Set the process-wide default backend; returns the previous one."""
-    global _default
-    previous = _default
-    _default = resolve_backend(spec)
+    """Deprecated: mutate the process-root context's backend.
+
+    Shim kept for downstream compatibility; returns the previous root
+    backend.  It does not affect already-activated contexts — scope
+    switches with :func:`use_backend` or build an explicit
+    :class:`~repro.runtime.context.ExecutionContext` instead.  Warns
+    once per process.
+    """
+    from repro.runtime.context import root_context, warn_deprecated_accessor
+
+    warn_deprecated_accessor(
+        "repro.engine.backend.set_default_backend",
+        "ExecutionContext(backend=...).activate()",
+    )
+    root = root_context()
+    previous = root.backend
+    root.backend = resolve_backend(spec)
     return previous
 
 
 @contextmanager
 def use_backend(spec: Union[str, ExecutionBackend]) -> Iterator[ExecutionBackend]:
-    """Scope a backend switch to a ``with`` block (re-entrant)."""
+    """Scope a backend switch to a ``with`` block (re-entrant).
+
+    Activates a derived execution context, so the switch is
+    exception-safe and isolated to the calling thread/task.
+    """
+    from repro.runtime.context import current_context
+
     backend = resolve_backend(spec)
-    _stack.append(backend)
-    try:
+    with current_context().child(backend=backend).activate():
         yield backend
-    finally:
-        _stack.pop()

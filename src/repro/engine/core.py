@@ -36,8 +36,7 @@ from typing import TYPE_CHECKING, Optional
 import numpy as np
 
 from repro.errors import ParameterError
-from repro.pram.cost import current_tracker
-from repro.pram.sanitizer import active_sanitizer
+from repro.runtime.context import current_context
 
 if TYPE_CHECKING:  # policies import the engine's types, not vice versa
     from repro.engine.direction import DirectionPolicy
@@ -67,7 +66,7 @@ def end_round(edges: int = 0, *, packing: str = "edges") -> None:
       unit barrier: the frontier pack's log-depth is already folded
       into their per-primitive depth charges.
     """
-    tracker = current_tracker()
+    tracker = current_context().tracker
     if packing == "edges":
         tracker.sync(depth=float(max(1, math.ceil(math.log2(edges + 1)))))
     elif packing == "unit":
@@ -181,7 +180,7 @@ class TraversalEngine:
         if self.tiebreak is not None:
             self.tiebreak.setup(state)
         next_frontier = state.initial_frontier()
-        sanitizer = active_sanitizer()
+        sanitizer = current_context().sanitizer
         if sanitizer is not None:
             sanitizer.open_run(state.shared_arrays())
         try:

@@ -31,7 +31,7 @@ from typing import TYPE_CHECKING, Dict, Optional, Type
 
 from repro.engine.frontier import DENSE_THRESHOLD
 from repro.errors import ParameterError
-from repro.pram.cost import current_tracker
+from repro.runtime.context import current_context
 
 if TYPE_CHECKING:
     from repro.engine.core import TraversalEngine, TraversalState
@@ -160,7 +160,7 @@ class LigraEdgeHybrid(DirectionPolicy):
         frontier = state.frontier
         offsets = self.graph.offsets
         frontier_edges = int((offsets[frontier + 1] - offsets[frontier]).sum())
-        current_tracker().add("scan", work=float(frontier.size), depth=1.0)
+        current_context().tracker.add("scan", work=float(frontier.size), depth=1.0)
         return frontier_edges + frontier.size > self.switch_budget
 
 

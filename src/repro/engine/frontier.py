@@ -27,8 +27,8 @@ from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
-from repro.pram.cost import current_tracker
 from repro.primitives.pack import pack_index
+from repro.runtime.context import current_context
 
 if TYPE_CHECKING:
     from repro.engine.workspace import NullWorkspace
@@ -101,7 +101,7 @@ class Frontier:
         """Number of active vertices."""
         if self._size is None:
             assert self._bitmap is not None
-            current_tracker().add("scan", work=float(self.num_vertices), depth=1.0)
+            current_context().tracker.add("scan", work=float(self.num_vertices), depth=1.0)
             self._size = int(np.count_nonzero(self._bitmap))
         return self._size
 
@@ -124,7 +124,7 @@ class Frontier:
         """Dense form (converting from ids costs a scatter)."""
         if self._bitmap is None:
             assert self._vertices is not None
-            current_tracker().add(
+            current_context().tracker.add(
                 "scatter",
                 work=float(self._vertices.size),
                 depth=1.0,

@@ -35,7 +35,6 @@ import numpy as np
 
 from repro.engine.core import UNVISITED, end_round
 from repro.engine.workspace import NULL_WORKSPACE
-from repro.pram.cost import current_tracker
 from repro.primitives.atomics import (
     PAIR_SHIFT,
     encode_pair,
@@ -43,7 +42,7 @@ from repro.primitives.atomics import (
     write_min,
 )
 from repro.primitives.pack import pack_index
-from repro.resilience.faults import active_fault_plan
+from repro.runtime.context import current_context
 
 if TYPE_CHECKING:
     from repro.decomp.base import DecompState
@@ -73,8 +72,8 @@ def arb_round(state: "DecompState") -> np.ndarray:
     Returns the next frontier (this round's CAS winners).  Mutates
     ``state.C`` and appends surviving inter-edges.
     """
-    tracker = current_tracker()
-    plan = active_fault_plan()
+    tracker = current_context().tracker
+    plan = current_context().fault_plan
     ws = state.workspace
     graph, C = state.graph, state.C
     src, dst = graph.expand(state.frontier, workspace=ws)
@@ -132,8 +131,8 @@ def min_round(
     scans (the fast backend's tie-break policy proves the whole domain
     once at setup).
     """
-    tracker = current_tracker()
-    plan = active_fault_plan()
+    tracker = current_context().tracker
+    plan = current_context().fault_plan
     ws = state.workspace
     graph, C = state.graph, state.C
     frac = state.schedule.frac
@@ -227,8 +226,8 @@ def dense_round(state: "DecompState") -> np.ndarray:
     among concurrent writers, the pull sweep adopts the first frontier
     neighbor in adjacency order (a legal arbitrary-CRCW schedule).
     """
-    tracker = current_tracker()
-    plan = active_fault_plan()
+    tracker = current_context().tracker
+    plan = current_context().fault_plan
     ws = state.workspace
     graph, C = state.graph, state.C
 
@@ -288,7 +287,7 @@ def filter_edges(state: "DecompState", deferred: List[np.ndarray]) -> None:
     keeping those whose endpoint labels differ (already relabeled to
     component ids, as everywhere else).
     """
-    tracker = current_tracker()
+    tracker = current_context().tracker
     if not deferred:
         return
     vertices = np.concatenate(deferred)
@@ -320,8 +319,8 @@ def bottom_up_step(
     *edges_examined* counts edge inspections up to each early exit —
     the quantity the cost model charges.
     """
-    tracker = current_tracker()
-    plan = active_fault_plan()
+    tracker = current_context().tracker
+    plan = current_context().fault_plan
     ws = workspace if workspace is not None else NULL_WORKSPACE
     unvisited = pack_index(ws.logical_not(visited, "bu.notvis"))
     if unvisited.size == 0:

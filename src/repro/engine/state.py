@@ -35,14 +35,11 @@ from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
 
-from repro.engine.backend import current_backend
 from repro.engine.core import UNVISITED, TraversalEngine, TraversalState, end_round
 from repro.engine.frontier import Frontier
 from repro.engine.kernels import bottom_up_step
-from repro.engine.workspace import make_workspace
-from repro.pram.cost import current_tracker
 from repro.primitives.atomics import first_winner
-from repro.resilience.faults import active_fault_plan
+from repro.runtime.context import current_context
 
 if TYPE_CHECKING:
     from repro.engine.workspace import NullWorkspace
@@ -83,7 +80,7 @@ class BFSTreeState(TraversalState):
         self.graph = graph
         self.source = source
         self.budget = budget
-        tracker = current_tracker()
+        tracker = current_context().tracker
         self.parents = np.full(n, UNVISITED, dtype=np.int64)
         self.distances = np.full(n, UNVISITED, dtype=np.int64)
         self.visited: Optional[np.ndarray] = (
@@ -97,7 +94,7 @@ class BFSTreeState(TraversalState):
             self.visited[source] = True
         self.num_visited = 1
         self.directions: List[str] = []
-        self.workspace = make_workspace(current_backend(), n)
+        self.workspace = current_context().acquire_workspace(n)
         self._frontier = Frontier.from_vertices(
             n, np.zeros(0, dtype=np.int64), workspace=self.workspace
         )
@@ -143,8 +140,8 @@ class BFSTreeState(TraversalState):
         self.num_visited += int(winners.size)
 
     def push_round(self, engine: TraversalEngine) -> np.ndarray:
-        tracker = current_tracker()
-        plan = active_fault_plan()
+        tracker = current_context().tracker
+        plan = current_context().fault_plan
         ws = self.workspace
         self.directions.append("top-down")
         src, dst = self.graph.expand(self.frontier, workspace=ws)
@@ -215,7 +212,7 @@ class ComponentLabelState(TraversalState):
         self.workspace = (
             workspace
             if workspace is not None
-            else make_workspace(current_backend(), graph.num_vertices)
+            else current_context().acquire_workspace(graph.num_vertices)
         )
         labels[source] = self.label
         self.count = 1
@@ -251,12 +248,12 @@ class ComponentLabelState(TraversalState):
 
     def _claim(self, winners: np.ndarray) -> None:
         self.labels[winners] = self.label
-        current_tracker().add("scatter", work=float(winners.size), depth=1.0)
+        current_context().tracker.add("scatter", work=float(winners.size), depth=1.0)
         self.count += int(winners.size)
 
     def push_round(self, engine: TraversalEngine) -> np.ndarray:
-        tracker = current_tracker()
-        plan = active_fault_plan()
+        tracker = current_context().tracker
+        plan = current_context().fault_plan
         ws = self.workspace
         src, dst = self.graph.expand(self._frontier, workspace=ws)
         fresh = ws.equal(
@@ -274,7 +271,7 @@ class ComponentLabelState(TraversalState):
         return winners
 
     def pull_round(self, engine: TraversalEngine) -> np.ndarray:
-        tracker = current_tracker()
+        tracker = current_context().tracker
         ws = self.workspace
         n = self.n
         visited = ws.not_equal(self.labels, UNVISITED, "cc.visited")

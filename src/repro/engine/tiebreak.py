@@ -31,8 +31,8 @@ import numpy as np
 
 from repro.engine.kernels import _PAIR_INF, arb_round, min_round
 from repro.errors import ParameterError
-from repro.pram.cost import current_tracker
 from repro.primitives.atomics import encode_pair
+from repro.runtime.context import current_context
 
 if TYPE_CHECKING:
     from repro.decomp.base import DecompState
@@ -82,7 +82,7 @@ class ArbTiebreak(TiebreakPolicy):
         self, state: "DecompState", engine: "TraversalEngine"
     ) -> np.ndarray:
         label = engine.direction.sparse_phase or "bfsMain"
-        with current_tracker().phase(label):
+        with current_context().tracker.phase(label):
             return arb_round(state)
 
 
@@ -101,7 +101,7 @@ class MinTiebreak(TiebreakPolicy):
         self._checked = False
 
     def setup(self, state: "DecompState") -> None:
-        tracker = current_tracker()
+        tracker = current_context().tracker
         with tracker.phase("init"):
             self.pair = np.full(state.n, _PAIR_INF, dtype=np.int64)
             tracker.add("alloc", work=float(state.n), depth=1.0)

@@ -15,17 +15,14 @@ randomized.
 
 from __future__ import annotations
 
-import contextlib
 import statistics
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.verify import verify_labeling
 from repro.connectivity.base import ConnectivityResult
-from repro.experiments.registry import AlgorithmSpec, get_algorithm
+from repro.experiments.registry import get_algorithm
 from repro.graphs.csr import CSRGraph
-from repro.pram.cost import CostTracker, tracking
+from repro.pram.cost import CostTracker
 from repro.pram.machine import MachineModel, ThreadSpec, paper_thread_sweep
 from repro.resilience.faults import FaultPlan
 
@@ -90,21 +87,21 @@ def profile_run(
     An optional :class:`~repro.resilience.faults.FaultPlan` is armed
     for the duration of the run (each call counts as one run against
     the plan's sabotage budget).
+
+    Thin wrapper over the runtime layer's
+    :func:`~repro.runtime.session.execute_profiled`, which derives one
+    execution context per run; kept as the historical name the
+    experiment/figure code calls.
     """
-    spec: AlgorithmSpec = get_algorithm(algorithm)
-    ctx = fault_plan.activate() if fault_plan is not None else contextlib.nullcontext()
-    t0 = time.perf_counter()
-    with ctx, tracking() as tracker:
-        result = spec.run(graph, **algorithm_kwargs)
-    wall = time.perf_counter() - t0
-    if verify:
-        verify_labeling(graph, result.labels)
-    return RunProfile(
-        algorithm=algorithm,
+    from repro.runtime.session import execute_profiled
+
+    return execute_profiled(
+        algorithm,
+        graph,
         graph_name=graph_name,
-        result=result,
-        tracker=tracker,
-        wall_seconds=wall,
+        verify=verify,
+        fault_plan=fault_plan,
+        **algorithm_kwargs,
     )
 
 

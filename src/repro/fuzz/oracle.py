@@ -33,19 +33,18 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.analysis.verify import ground_truth_labels, verify_labeling
-from repro.engine.backend import BACKENDS, use_backend
+from repro.engine.backend import BACKENDS
 from repro.errors import (
     ConvergenceError,
     ReproError,
     SanitizerError,
     VerificationError,
 )
-from repro.experiments.harness import profile_run
 from repro.fuzz.case import FuzzCase, build_case_graph
 from repro.fuzz.planted import PlantedBug, get_planted_bug
 from repro.graphs.csr import CSRGraph
-from repro.pram.sanitizer import sanitizing
 from repro.resilience.faults import FaultPlan
+from repro.runtime.session import execute_profiled
 
 __all__ = ["Finding", "CaseOutcome", "run_case", "BENIGN_FAULT_KINDS"]
 
@@ -119,26 +118,16 @@ def _execute(
     Raises whatever the run raises — classification happens in
     :func:`run_case`.
     """
-    with use_backend(backend):
-        if case.config.sanitize:
-            with sanitizing(halt_on_race=True):
-                prof = profile_run(
-                    case.config.algorithm,
-                    graph,
-                    graph_name=case.case_id or "fuzz",
-                    verify=False,
-                    fault_plan=fault_plan,
-                    **_algorithm_kwargs(case),
-                )
-        else:
-            prof = profile_run(
-                case.config.algorithm,
-                graph,
-                graph_name=case.case_id or "fuzz",
-                verify=False,
-                fault_plan=fault_plan,
-                **_algorithm_kwargs(case),
-            )
+    prof = execute_profiled(
+        case.config.algorithm,
+        graph,
+        graph_name=case.case_id or "fuzz",
+        verify=False,
+        fault_plan=fault_plan,
+        backend=backend,
+        sanitize=case.config.sanitize,
+        **_algorithm_kwargs(case),
+    )
     labels = np.asarray(prof.result.labels)
     if bug is not None and case.config.algorithm.startswith(bug.applies_to):
         labels = bug.corrupt(graph, labels)

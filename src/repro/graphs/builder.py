@@ -15,9 +15,9 @@ import numpy as np
 
 from repro.errors import GraphFormatError
 from repro.graphs.csr import CSRGraph
-from repro.pram.cost import current_tracker
 from repro.primitives.scan import exclusive_scan
 from repro.primitives.sort import radix_argsort
+from repro.runtime.context import current_context
 
 __all__ = ["from_edges", "from_directed_edges", "dedup_edge_list"]
 
@@ -60,7 +60,7 @@ def dedup_edge_list(
     first = np.empty(keys.size, dtype=bool)
     first[0] = True
     np.not_equal(keys[1:], keys[:-1], out=first[1:])
-    current_tracker().add("scan", work=float(keys.size), depth=1.0)
+    current_context().tracker.add("scan", work=float(keys.size), depth=1.0)
     keys = keys[first]
     return keys // num_vertices, keys % num_vertices
 
@@ -91,7 +91,7 @@ def from_directed_edges(
     counts = np.bincount(src, minlength=num_vertices) if src.size else np.zeros(
         num_vertices, dtype=np.int64
     )
-    current_tracker().add("scatter", work=float(src.size), depth=1.0)
+    current_context().tracker.add("scatter", work=float(src.size), depth=1.0)
     offsets = np.concatenate(
         (exclusive_scan(counts), [src.size])
     ).astype(np.int64)
@@ -133,7 +133,7 @@ def from_edges(
     # Mirror every edge, then (optionally) dedup the directed multiset.
     all_src = np.concatenate((src, dst))
     all_dst = np.concatenate((dst, src))
-    current_tracker().add("scan", work=float(all_src.size), depth=1.0)
+    current_context().tracker.add("scan", work=float(all_src.size), depth=1.0)
     if remove_duplicates:
         all_src, all_dst = dedup_edge_list(all_src, all_dst, num_vertices)
     else:

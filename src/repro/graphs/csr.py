@@ -18,13 +18,14 @@ Conventions
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Iterator, Tuple
 
 import numpy as np
 
 from repro.errors import GraphFormatError
-from repro.pram.cost import current_tracker
+from repro.runtime.context import current_context
 
 __all__ = ["CSRGraph"]
 
@@ -126,7 +127,7 @@ class CSRGraph:
 
     def edge_array(self) -> Tuple[np.ndarray, np.ndarray]:
         """All directed edges as ``(sources, targets)`` arrays."""
-        current_tracker().add("scan", work=float(self.num_directed), depth=1.0)
+        current_context().tracker.add("scan", work=float(self.num_directed), depth=1.0)
         sources = np.repeat(
             np.arange(self.num_vertices, dtype=np.int64), self.degrees
         )
@@ -168,7 +169,7 @@ class CSRGraph:
         counts = self.offsets[frontier + 1] - starts
         total = int(counts.sum())
         if charge_cost:
-            tracker = current_tracker()
+            tracker = current_context().tracker
             tracker.add("gather", work=float(total + frontier.size), depth=1.0)
             tracker.add(  # offset computation = prefix sum over the frontier
                 "scan",
@@ -190,6 +191,24 @@ class CSRGraph:
         return edge_sources, edge_targets
 
     # -- misc ------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Content hash of the graph (memo keys in the session layer).
+
+        SHA-256 over the CSR arrays and the symmetry flag, computed
+        once per instance and cached (the arrays are immutable by
+        contract).  Host-side bookkeeping — charges nothing.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is None:
+            digest = hashlib.sha256()
+            digest.update(b"csr:%d:%d" % (self.num_vertices, self.num_directed))
+            digest.update(self.offsets.tobytes())
+            digest.update(self.targets.tobytes())
+            digest.update(b"sym" if self.symmetric else b"dir")
+            cached = digest.hexdigest()
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
 
     def check_symmetric(self) -> bool:
         """Verify the directed edge set is symmetric (O(m log m); tests)."""

@@ -34,8 +34,8 @@ import numpy as np
 from repro.errors import ParameterError
 from repro.graphs.builder import from_edges
 from repro.graphs.csr import CSRGraph
-from repro.pram.cost import current_tracker
 from repro.primitives.rand import random_permutation
+from repro.runtime.context import current_context
 
 __all__ = [
     "random_kregular",
@@ -76,7 +76,7 @@ def random_kregular(n: int, k: int = 5, seed: int = 1) -> CSRGraph:
     rng = _rng(seed)
     src = np.repeat(np.arange(n, dtype=np.int64), k)
     dst = rng.integers(0, n, size=n * k, dtype=np.int64)
-    current_tracker().add("scan", work=float(n * k), depth=1.0)
+    current_context().tracker.add("scan", work=float(n * k), depth=1.0)
     return from_edges(src, dst, num_vertices=n)
 
 
@@ -109,7 +109,7 @@ def rmat(
     rng = _rng(seed)
     src = np.zeros(num_edges, dtype=np.int64)
     dst = np.zeros(num_edges, dtype=np.int64)
-    current_tracker().add(
+    current_context().tracker.add(
         "scan", work=float(num_edges * max(num_vertices_log2, 1)), depth=1.0
     )
     for _level in range(num_vertices_log2):
@@ -172,7 +172,7 @@ def grid3d(side: int, seed: Optional[int] = None) -> CSRGraph:
         dsts.append(idx[mask] + step)
     src = np.concatenate(srcs)
     dst = np.concatenate(dsts)
-    current_tracker().add("scan", work=float(3 * n), depth=1.0)
+    current_context().tracker.add("scan", work=float(3 * n), depth=1.0)
     if seed is not None:
         relabel = random_permutation(n, seed)
         src, dst = relabel[src], relabel[dst]
@@ -330,7 +330,7 @@ def preferential_attachment(n: int, k: int = 3, seed: int = 1) -> CSRGraph:
     dst_arr = np.concatenate(
         (np.array([1], dtype=np.int64), np.array(dst, dtype=np.int64))
     )
-    current_tracker().add("seq", work=float(len(src)), depth=0.0)
+    current_context().tracker.add("seq", work=float(len(src)), depth=0.0)
     return from_edges(src_arr, dst_arr, num_vertices=n)
 
 
@@ -357,7 +357,7 @@ def small_world(n: int, k: int = 4, p: float = 0.1, seed: int = 1) -> CSRGraph:
     rewire = rng.random(src.size) < p
     dst = dst.copy()
     dst[rewire] = rng.integers(0, n, size=int(rewire.sum()), dtype=np.int64)
-    current_tracker().add("scan", work=float(src.size), depth=1.0)
+    current_context().tracker.add("scan", work=float(src.size), depth=1.0)
     return from_edges(src, dst, num_vertices=n)
 
 

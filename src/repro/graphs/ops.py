@@ -14,7 +14,7 @@ import numpy as np
 from repro.errors import GraphFormatError
 from repro.graphs.builder import from_directed_edges
 from repro.graphs.csr import CSRGraph
-from repro.pram.cost import current_tracker
+from repro.runtime.context import current_context
 
 __all__ = [
     "relabel_graph",
@@ -42,7 +42,7 @@ def relabel_graph(graph: CSRGraph, new_labels: np.ndarray) -> CSRGraph:
     ):
         raise GraphFormatError("new_labels must be a permutation of range(n)")
     src, dst = graph.edge_array()
-    current_tracker().add("gather", work=float(2 * src.size), depth=1.0)
+    current_context().tracker.add("gather", work=float(2 * src.size), depth=1.0)
     return from_directed_edges(
         new_labels[src], new_labels[dst], n, symmetric=graph.symmetric
     )
@@ -51,7 +51,7 @@ def relabel_graph(graph: CSRGraph, new_labels: np.ndarray) -> CSRGraph:
 def degree_statistics(graph: CSRGraph) -> Dict[str, float]:
     """Min/max/mean degree and isolated-vertex count (Table 1 support)."""
     deg = graph.degrees
-    current_tracker().add("scan", work=float(deg.size), depth=1.0)
+    current_context().tracker.add("scan", work=float(deg.size), depth=1.0)
     if deg.size == 0:
         return {"min": 0.0, "max": 0.0, "mean": 0.0, "isolated": 0.0}
     return {
@@ -64,7 +64,7 @@ def degree_statistics(graph: CSRGraph) -> Dict[str, float]:
 
 def isolated_vertices(graph: CSRGraph) -> np.ndarray:
     """Vertices with degree zero (singleton components)."""
-    current_tracker().add("scan", work=float(graph.num_vertices), depth=1.0)
+    current_context().tracker.add("scan", work=float(graph.num_vertices), depth=1.0)
     return np.flatnonzero(graph.degrees == 0)
 
 
@@ -86,7 +86,7 @@ def induced_subgraph(
     new_id[vertices] = np.arange(vertices.size, dtype=np.int64)
     src, dst = graph.edge_array()
     keep = in_set[src] & in_set[dst]
-    current_tracker().add("gather", work=float(2 * src.size), depth=1.0)
+    current_context().tracker.add("gather", work=float(2 * src.size), depth=1.0)
     sub = from_directed_edges(
         new_id[src[keep]], new_id[dst[keep]], vertices.size, symmetric=graph.symmetric
     )
@@ -100,6 +100,6 @@ def edges_as_undirected_pairs(graph: CSRGraph) -> Tuple[np.ndarray, np.ndarray]:
     notes SF codes store each edge in one direction only).
     """
     src, dst = graph.edge_array()
-    current_tracker().add("scan", work=float(src.size), depth=1.0)
+    current_context().tracker.add("scan", work=float(src.size), depth=1.0)
     keep = src < dst
     return src[keep], dst[keep]

@@ -24,10 +24,13 @@ Costs are bucketed two ways simultaneously:
   on a real machine and the machine model assigns each kind its own
   calibrated constant.
 
-The tracker is deliberately not thread-local or async-aware: this
-package performs all *real* execution on one core (the simulated
-parallelism lives in the cost model), so a simple module-level stack of
-active trackers is sufficient and fast.
+The active tracker rides in the process-wide
+:class:`~repro.runtime.context.ExecutionContext` (a ``contextvars``
+binding), so concurrent sessions in different threads or tasks each
+accumulate into their own tracker with no cross-talk.  :func:`tracking`
+derives and activates a child context; :func:`current_tracker` is a
+deprecated shim kept for downstream compatibility — new code reads
+``current_context().tracker``.
 """
 
 from __future__ import annotations
@@ -221,12 +224,21 @@ class _NullTracker(CostTracker):
 
 
 _NULL = _NullTracker()
-_ACTIVE: List[CostTracker] = []
 
 
 def current_tracker() -> CostTracker:
-    """The innermost active tracker, or a discard-everything sentinel."""
-    return _ACTIVE[-1] if _ACTIVE else _NULL
+    """Deprecated: the execution context's tracker.
+
+    Shim kept for downstream compatibility; new code reads
+    ``repro.runtime.current_context().tracker``.  Warns once per
+    process.
+    """
+    from repro.runtime.context import current_context, warn_deprecated_accessor
+
+    warn_deprecated_accessor(
+        "repro.pram.cost.current_tracker", "current_context().tracker"
+    )
+    return current_context().tracker
 
 
 @contextlib.contextmanager
@@ -235,12 +247,12 @@ def tracking(tracker: Optional[CostTracker] = None) -> Iterator[CostTracker]:
 
     Nesting is allowed; the innermost tracker receives the costs.  Use
     :meth:`CostTracker.merge` to roll a nested tracker into an outer
-    one when sub-accounting is needed.
+    one when sub-accounting is needed.  Implemented as a derived
+    :class:`~repro.runtime.context.ExecutionContext` activation, so it
+    is exception-safe and thread-isolated.
     """
+    from repro.runtime.context import current_context
+
     tracker = tracker if tracker is not None else CostTracker()
-    _ACTIVE.append(tracker)
-    try:
+    with current_context().child(tracker=tracker).activate():
         yield tracker
-    finally:
-        popped = _ACTIVE.pop()
-        assert popped is tracker, "tracker stack corrupted"

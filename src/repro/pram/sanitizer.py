@@ -32,11 +32,13 @@ off the first-occurrence schedule (:meth:`PramSanitizer.check_cas`).
 memory races, and are out of scope by design — the verifier, not the
 sanitizer, owns those.
 
-Activation mirrors the cost tracker and fault plan: a module-level
-stack, :func:`active_sanitizer` for the seams, and the
-:func:`sanitizing` context manager for callers (the CLI's global
-``--sanitize`` flag wraps every command in one).  When no sanitizer is
-active every seam is a cheap ``None`` check.
+Activation mirrors the cost tracker and fault plan: the armed
+sanitizer rides in the :class:`~repro.runtime.context.ExecutionContext`
+(``current_context().sanitizer`` at the seams), and the
+:func:`sanitizing` context manager activates a derived context (the
+CLI's global ``--sanitize`` flag wraps every command in one).  When no
+sanitizer is active every seam is a cheap ``None`` check.
+:func:`active_sanitizer` survives as a deprecated shim.
 """
 
 from __future__ import annotations
@@ -53,6 +55,7 @@ __all__ = [
     "RaceReport",
     "PramSanitizer",
     "active_sanitizer",
+    "current_sanitizer",
     "sanitizing",
 ]
 
@@ -373,21 +376,40 @@ class PramSanitizer:
             raise SanitizerError(str(report), report=report)
 
 
-#: Innermost-wins stack, like the cost tracker's and the fault plan's.
-_ACTIVE: List[PramSanitizer] = []
-
-
 def active_sanitizer() -> Optional[PramSanitizer]:
-    """The innermost active sanitizer, or ``None`` (the common case)."""
-    return _ACTIVE[-1] if _ACTIVE else None
+    """Deprecated: the execution context's sanitizer (or ``None``).
+
+    Shim kept for downstream compatibility; new code reads
+    ``repro.runtime.current_context().sanitizer``.  Warns once per
+    process.
+    """
+    from repro.runtime.context import current_context, warn_deprecated_accessor
+
+    warn_deprecated_accessor(
+        "repro.pram.sanitizer.active_sanitizer", "current_context().sanitizer"
+    )
+    return current_context().sanitizer
+
+
+def current_sanitizer() -> Optional[PramSanitizer]:
+    """Deprecated alias of :func:`active_sanitizer` (same shim)."""
+    from repro.runtime.context import current_context, warn_deprecated_accessor
+
+    warn_deprecated_accessor(
+        "repro.pram.sanitizer.current_sanitizer", "current_context().sanitizer"
+    )
+    return current_context().sanitizer
 
 
 @contextmanager
 def sanitizing(*, halt_on_race: bool = True) -> Iterator[PramSanitizer]:
-    """Activate a fresh :class:`PramSanitizer` for the enclosed block."""
+    """Activate a fresh :class:`PramSanitizer` for the enclosed block.
+
+    Implemented as a derived execution-context activation, so the
+    arming is exception-safe and scoped to the calling thread/task.
+    """
+    from repro.runtime.context import current_context
+
     sanitizer = PramSanitizer(halt_on_race=halt_on_race)
-    _ACTIVE.append(sanitizer)
-    try:
+    with current_context().child(sanitizer=sanitizer).activate():
         yield sanitizer
-    finally:
-        _ACTIVE.pop()

@@ -24,9 +24,8 @@ from typing import TYPE_CHECKING, Any, Optional, Tuple
 
 import numpy as np
 
-from repro.pram.cost import CostTracker, current_tracker
-from repro.pram.sanitizer import active_sanitizer
-from repro.resilience.faults import active_fault_plan
+from repro.pram.cost import CostTracker
+from repro.runtime.context import current_context
 
 if TYPE_CHECKING:  # layering: primitives must not import engine at runtime
     from repro.engine.workspace import NullWorkspace
@@ -46,8 +45,8 @@ PAIR_SHIFT = 31
 _PAIR_MASK = (1 << PAIR_SHIFT) - 1
 
 #: Sentinel distinguishing "not passed" from "no plan" (the round
-#: kernels cache :func:`active_fault_plan` once per round and pass it
-#: down; legacy callers fall back to the context-var read).
+#: kernels read ``current_context().fault_plan`` once per round and
+#: pass it down; legacy callers fall back to the context read).
 _LOOKUP_PLAN = object()
 
 
@@ -114,9 +113,9 @@ def write_min(
     if idx.shape[0] != values.shape[0]:
         raise ValueError("idx and values must have equal length")
     if tracker is None:
-        tracker = current_tracker()
+        tracker = current_context().tracker
     tracker.add("atomic", work=float(idx.shape[0]), depth=1.0)
-    sanitizer = active_sanitizer()
+    sanitizer = current_context().sanitizer
     if sanitizer is not None:
         sanitizer.record_atomic(dest, idx)
     np.minimum.at(dest, idx, values)
@@ -153,7 +152,7 @@ def first_winner(
     """
     idx = np.asarray(idx)
     if tracker is None:
-        tracker = current_tracker()
+        tracker = current_context().tracker
     tracker.add("atomic", work=float(idx.shape[0]), depth=1.0)
     if idx.shape[0] == 0:
         return np.zeros(0, dtype=np.int64), idx
@@ -163,8 +162,8 @@ def first_winner(
         dests, positions = np.unique(idx, return_index=True)
         positions = positions.astype(np.int64, copy=False)
     if plan is _LOOKUP_PLAN:
-        plan = active_fault_plan()
-    sanitizer = active_sanitizer()
+        plan = current_context().fault_plan
+    sanitizer = current_context().sanitizer
     if plan is not None:
         # The pre-perturbation resolution IS the machine's deterministic
         # schedule; an armed sanitizer validates whatever comes back

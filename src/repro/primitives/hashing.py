@@ -24,10 +24,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConvergenceError
-from repro.pram.cost import current_tracker
 from repro.primitives.atomics import first_winner
 from repro.primitives.rand import splitmix64
-from repro.resilience.faults import active_fault_plan
+from repro.runtime.context import current_context
 
 __all__ = ["HashTable", "dedup"]
 
@@ -64,13 +63,8 @@ class HashTable:
         self._mask = np.uint64(self.size - 1)
         self._seed = np.uint64(seed & 0xFFFFFFFFFFFFFFFF)
         self.slots = np.full(self.size, _EMPTY, dtype=np.int64)
-        current_tracker().add("alloc", work=float(self.size), depth=1.0)
-        # Imported lazily: primitives must stay importable without
-        # pulling in the engine package (which imports the primitives).
-        from repro.engine.backend import current_backend
-        from repro.engine.workspace import make_workspace
-
-        self._workspace = make_workspace(current_backend(), self.size)
+        current_context().tracker.add("alloc", work=float(self.size), depth=1.0)
+        self._workspace = current_context().acquire_workspace(self.size)
 
     def _hash(self, keys: np.ndarray) -> np.ndarray:
         h = splitmix64(keys.astype(np.uint64) ^ self._seed)
@@ -97,8 +91,8 @@ class HashTable:
         )
         # Context lookups cached once per insert (round granularity);
         # the probe loop passes them straight into the primitives.
-        tracker = current_tracker()
-        plan = active_fault_plan()
+        tracker = current_context().tracker
+        plan = current_context().fault_plan
         ws = self._workspace
         for _ in range(max_rounds):
             if pending.size == 0:
@@ -143,7 +137,7 @@ class HashTable:
 
     def contents(self) -> np.ndarray:
         """All stored keys, in arbitrary (slot) order."""
-        current_tracker().add("scan", work=float(self.size), depth=1.0)
+        current_context().tracker.add("scan", work=float(self.size), depth=1.0)
         return self.slots[self.slots != _EMPTY]
 
 

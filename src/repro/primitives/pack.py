@@ -20,7 +20,7 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.pram.cost import current_tracker
+from repro.runtime.context import current_context
 
 __all__ = ["pack", "pack_index", "split_by_flag"]
 
@@ -29,7 +29,7 @@ _LOG_STAR = 4.0
 
 
 def _charge(n: int, approximate: bool) -> None:
-    tracker = current_tracker()
+    tracker = current_context().tracker
     depth = _LOG_STAR if approximate else float(max(1, math.ceil(math.log2(n + 1))))
     tracker.add("scan", work=float(n), depth=depth)
 

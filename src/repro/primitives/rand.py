@@ -21,8 +21,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ParameterError
-from repro.pram.cost import current_tracker
 from repro.primitives.sort import radix_argsort
+from repro.runtime.context import current_context
 
 __all__ = [
     "splitmix64",
@@ -52,7 +52,7 @@ def hash_randoms(n: int, seed: int, stream: int = 0) -> np.ndarray:
     """n i.i.d. uint64 randoms from a (seed, stream) pair; O(n) work, O(1) depth."""
     if n < 0:
         raise ParameterError(f"n must be >= 0, got {n}")
-    current_tracker().add("scan", work=float(n), depth=1.0)
+    current_context().tracker.add("scan", work=float(n), depth=1.0)
     base = _U64(
         (seed & 0xFFFFFFFFFFFFFFFF)
         ^ ((stream * 0xD6E8FEB86659FD93) & 0xFFFFFFFFFFFFFFFF)

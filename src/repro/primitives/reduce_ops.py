@@ -13,13 +13,13 @@ from typing import Optional
 
 import numpy as np
 
-from repro.pram.cost import current_tracker
+from repro.runtime.context import current_context
 
 __all__ = ["reduce_sum", "reduce_max", "reduce_min", "count_true", "histogram"]
 
 
 def _charge(n: int, kind: str = "scan") -> None:
-    current_tracker().add(
+    current_context().tracker.add(
         kind, work=float(n), depth=float(max(1, math.ceil(math.log2(n + 1))))
     )
 

@@ -14,7 +14,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.pram.cost import current_tracker
+from repro.runtime.context import current_context
 
 __all__ = [
     "exclusive_scan",
@@ -26,7 +26,7 @@ __all__ = [
 
 def _charge(n: int) -> None:
     """Charge the PRAM cost of one n-element scan."""
-    tracker = current_tracker()
+    tracker = current_context().tracker
     tracker.add("scan", work=float(n), depth=float(max(1, math.ceil(math.log2(n + 1)))))
 
 

@@ -21,7 +21,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.pram.cost import current_tracker
+from repro.runtime.context import current_context
 
 __all__ = ["radix_argsort", "radix_sort", "sort_pairs_by_key", "RADIX_BITS"]
 
@@ -40,17 +40,13 @@ def _num_passes(max_key: int) -> int:
 
 
 def _charge(n: int, passes: int) -> None:
-    tracker = current_tracker()
+    tracker = current_context().tracker
     depth_per_pass = float(max(1.0, n**_DEPTH_EPS))
     tracker.add("sort", work=float(n * passes), depth=depth_per_pass * passes)
 
 
 def _fused_sort() -> bool:
-    # Imported lazily: primitives must stay importable without pulling
-    # in the engine package (which itself imports the primitives).
-    from repro.engine.backend import current_backend
-
-    return current_backend().fused_sort
+    return current_context().backend.fused_sort
 
 
 def radix_argsort(keys: np.ndarray, max_key: Optional[int] = None) -> np.ndarray:

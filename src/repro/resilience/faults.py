@@ -39,9 +39,11 @@ recover-under-fault behavior the acceptance tests exercise.  All
 randomness is drawn from a per-run ``numpy`` generator seeded with
 ``(seed, run_index)``, so a plan is bit-reproducible.
 
-Hooks are module-level and cost nothing when no plan is active (a
-single ``None`` check); production code never imports more than
-:func:`active_fault_plan`.
+Hooks cost nothing when no plan is active (a single ``None`` check):
+the armed plan rides in the
+:class:`~repro.runtime.context.ExecutionContext` and production code
+reads ``current_context().fault_plan`` once per round.
+:func:`active_fault_plan` survives as a deprecated shim.
 """
 
 from __future__ import annotations
@@ -248,18 +250,23 @@ class FaultPlan:
 
     @contextlib.contextmanager
     def activate(self) -> Iterator["FaultPlan"]:
-        """Arm the plan for one run (reproducible per-run RNG stream)."""
+        """Arm the plan for one run (reproducible per-run RNG stream).
+
+        Arming installs the plan on a derived
+        :class:`~repro.runtime.context.ExecutionContext`, so it is
+        exception-safe and scoped to the calling thread/task.
+        """
+        from repro.runtime.context import current_context
+
         self.run_index += 1
         self._rng = np.random.default_rng((self.seed, self.run_index))
         for s in self.specs:
             s.reset()
         self._active_depth += 1
-        _ACTIVE.append(self)
         try:
-            yield self
+            with current_context().child(fault_plan=self).activate():
+                yield self
         finally:
-            popped = _ACTIVE.pop()
-            assert popped is self, "fault plan stack corrupted"
             self._active_depth -= 1
 
     def _live(self, kind: str, round_index: Optional[int] = None) -> List[FaultSpec]:
@@ -393,12 +400,20 @@ class FaultPlan:
                 )
 
 
-_ACTIVE: List[FaultPlan] = []
-
-
 def active_fault_plan() -> Optional[FaultPlan]:
-    """The innermost active plan, or ``None`` (the common, free case)."""
-    return _ACTIVE[-1] if _ACTIVE else None
+    """Deprecated: the execution context's fault plan (or ``None``).
+
+    Shim kept for downstream compatibility; new code reads
+    ``repro.runtime.current_context().fault_plan``.  Warns once per
+    process.
+    """
+    from repro.runtime.context import current_context, warn_deprecated_accessor
+
+    warn_deprecated_accessor(
+        "repro.resilience.faults.active_fault_plan",
+        "current_context().fault_plan",
+    )
+    return current_context().fault_plan
 
 
 def parse_fault_plan(

@@ -1,6 +1,7 @@
 """ResilientRunner: retries, verification gating, graceful degradation.
 
-Wraps :func:`repro.experiments.harness.profile_run` so one crash,
+Wraps the runtime layer's
+:func:`~repro.runtime.session.execute_profiled` so one crash,
 pathological seed, runaway loop, or injected mid-run fault no longer
 loses a sweep:
 
@@ -152,7 +153,7 @@ class ResilientRunner:
         Raises :class:`ResilienceExhaustedError` when the requested
         algorithm *and* every fallback exhaust their attempts.
         """
-        from repro.experiments.harness import profile_run
+        from repro.runtime.session import execute_profiled
 
         chain = [algorithm, *self.fallbacks.get(algorithm, [])]
         failures: List[FailureRecord] = []
@@ -164,7 +165,7 @@ class ResilientRunner:
                 attempt_seed = self.retry.seed_for(seed, attempt)
                 backoff += self.retry.backoff_cost(attempt)
                 try:
-                    prof = profile_run(
+                    prof = execute_profiled(
                         algo,
                         graph,
                         graph_name=graph_name,

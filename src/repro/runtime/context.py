@@ -1,0 +1,208 @@
+"""The explicit execution context: one object instead of four globals.
+
+Historically every run communicated with the kernels through four
+separate module-global mutable stacks — the cost tracker
+(``pram.cost``), the fault plan (``resilience.faults``), the race
+sanitizer (``pram.sanitizer``) and the execution backend
+(``engine.backend``).  That ambient-state pattern is exactly what the
+reprolint pass polices *inside* kernels, and it makes concurrent
+service-style execution (the ROADMAP north star) impossible: two
+threads pushing onto one stack corrupt each other's accounting.
+
+:class:`ExecutionContext` bundles all of that per-run state into one
+immutable-by-convention record carried in a single
+:data:`contextvars.ContextVar`.  ``contextvars`` gives every thread —
+and every asyncio task — its own independent binding, so concurrent
+:class:`~repro.runtime.session.Session` objects are isolated for free:
+a tracker activated in one thread is invisible to every other.
+
+The reading side is :func:`current_context`; kernels use it as::
+
+    ctx = current_context()
+    ctx.tracker.add("scan", work=float(n), depth=1.0)
+    if ctx.fault_plan is not None: ...
+
+The writing side is :meth:`ExecutionContext.activate` — the single
+exception-safe push/pop in the whole package (a ``ContextVar`` token
+reset in ``finally``).  The legacy context managers (``tracking``,
+``sanitizing``, ``use_backend``, ``FaultPlan.activate``) are now thin
+wrappers that derive a :meth:`child` context and activate it; the
+legacy *accessors* (``current_tracker`` & co.) are deprecated shims
+that read this contextvar and warn once per process.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import warnings
+from contextvars import ContextVar
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Iterator, Optional, Set
+
+import numpy as np
+
+from repro.pram.cost import _NULL, CostTracker
+
+if TYPE_CHECKING:
+    from repro.engine.backend import ExecutionBackend
+    from repro.engine.workspace import NullWorkspace
+    from repro.pram.sanitizer import PramSanitizer
+    from repro.resilience.faults import FaultPlan
+
+__all__ = [
+    "ExecutionContext",
+    "current_context",
+    "root_context",
+    "warn_deprecated_accessor",
+]
+
+
+def _default_backend() -> "ExecutionBackend":
+    # Imported lazily so this module (the target of every accessor
+    # shim) stays below the engine in the layering — the primitives
+    # and graphs layers import it at module level.
+    from repro.engine.backend import BACKENDS, DEFAULT_BACKEND_NAME
+
+    return BACKENDS[DEFAULT_BACKEND_NAME]
+
+
+@dataclass
+class ExecutionContext:
+    """Everything one run needs, bundled and thread-isolated.
+
+    Attributes
+    ----------
+    tracker:
+        The (work, depth) accumulator charges land in.  Defaults to the
+        shared discard-everything null tracker, so uninstrumented code
+        costs one no-op method call.
+    backend:
+        The :class:`~repro.engine.backend.ExecutionBackend` kernels
+        consult for their execution strategy.
+    fault_plan:
+        The armed :class:`~repro.resilience.faults.FaultPlan`, or
+        ``None`` (the common, free case).
+    sanitizer:
+        The active :class:`~repro.pram.sanitizer.PramSanitizer`, or
+        ``None``.
+    workspace:
+        An optional pooled :class:`~repro.engine.workspace.Workspace`
+        arena offered to the next run (see :meth:`acquire_workspace`).
+    seed / rng:
+        The context's seed and the generator derived from it; a
+        :class:`~repro.runtime.session.Session` threads its seed here
+        so host-side randomness is reproducible per context.
+    """
+
+    tracker: CostTracker = field(default_factory=lambda: _NULL)
+    backend: "ExecutionBackend" = field(default_factory=_default_backend)
+    fault_plan: "Optional[FaultPlan]" = None
+    sanitizer: "Optional[PramSanitizer]" = None
+    workspace: "Optional[NullWorkspace]" = None
+    seed: int = 0
+    rng: Optional[np.random.Generator] = None
+
+    def __post_init__(self) -> None:
+        if self.rng is None:
+            self.rng = np.random.default_rng(self.seed)
+
+    # -- derivation --------------------------------------------------------
+
+    def child(self, **overrides: object) -> "ExecutionContext":
+        """A copy of this context with *overrides* replaced.
+
+        The derived context shares every field it does not override
+        (including the ``rng`` instance — override ``seed`` to get a
+        fresh, reproducible stream).
+        """
+        if "seed" in overrides and "rng" not in overrides:
+            overrides["rng"] = np.random.default_rng(int(overrides["seed"]))  # type: ignore[arg-type]
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+    # -- activation (the one push/pop in the package) ----------------------
+
+    @contextlib.contextmanager
+    def activate(self) -> Iterator["ExecutionContext"]:
+        """Install this context for the ``with`` body.
+
+        Exception-safe by construction: the ``ContextVar`` token is
+        reset in ``finally``, so no failure path can leave a stale
+        context installed — the bug class the old module-level
+        push/pop stacks could not rule out.
+        """
+        token = _CONTEXT.set(self)
+        try:
+            yield self
+        finally:
+            _CONTEXT.reset(token)
+
+    # -- workspace pooling -------------------------------------------------
+
+    def acquire_workspace(self, num_vertices: int) -> "NullWorkspace":
+        """Claim the pooled arena, or build a fresh one.
+
+        Claim-once semantics: the first state that asks takes the
+        pooled workspace and the field is cleared, so nested states
+        (contraction recursion) build their own arenas instead of
+        aliasing buffers that are still live in their parent.  The
+        :class:`~repro.runtime.session.Session` that owns the pool
+        keeps its own reference and re-offers the arena to the next
+        run.
+        """
+        ws = self.workspace
+        if ws is not None and self.backend.use_workspace:
+            self.workspace = None
+            return ws
+        from repro.engine.workspace import make_workspace
+
+        return make_workspace(self.backend, num_vertices)
+
+
+#: The ambient default: null tracker, process-default backend, nothing
+#: armed.  Created lazily (its backend field resolves through the
+#: engine layer); ``set_default_backend`` (deprecated) mutates it.
+_ROOT: Optional[ExecutionContext] = None
+_ROOT_LOCK = threading.Lock()
+
+_CONTEXT: ContextVar[Optional[ExecutionContext]] = ContextVar(
+    "repro_execution_context", default=None
+)
+
+
+def current_context() -> ExecutionContext:
+    """The innermost activated context, or the process root."""
+    ctx = _CONTEXT.get()
+    return ctx if ctx is not None else root_context()
+
+
+def root_context() -> ExecutionContext:
+    """The process-root context (the ``set_default_backend`` target)."""
+    global _ROOT
+    if _ROOT is None:
+        with _ROOT_LOCK:
+            if _ROOT is None:
+                _ROOT = ExecutionContext()
+    return _ROOT
+
+
+# -- deprecation plumbing for the four legacy accessors -------------------
+
+_WARNED: Set[str] = set()
+
+
+def warn_deprecated_accessor(name: str, replacement: str) -> None:
+    """Emit the accessor's :class:`DeprecationWarning` once per process."""
+    if name in _WARNED:
+        return
+    _WARNED.add(name)
+    warnings.warn(
+        f"{name}() is deprecated; read repro.runtime.{replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _reset_deprecation_warnings() -> None:
+    """Re-arm the once-per-process warnings (test hook only)."""
+    _WARNED.clear()

@@ -1,0 +1,358 @@
+"""Session layer: load a graph once, run many, answer queries cheaply.
+
+The CLI, the fuzz oracle, the resilient runner and the benchmarks all
+used to re-implement the same run choreography — pick a backend, build
+a tracker, maybe arm a sanitizer or a fault plan, time the run, verify
+the labeling.  :func:`execute_profiled` is that choreography written
+once: it derives one :class:`~repro.runtime.context.ExecutionContext`
+child carrying *all* of the run's ambient state and activates it around
+exactly one algorithm execution.
+
+:class:`Session` is the service-style facade on top (the ROADMAP
+north star): it owns one graph, pools a
+:class:`~repro.engine.workspace.Workspace` arena across runs (the fast
+backend's steady-state zero-allocation property then holds across a
+whole query *sequence*, not just within one run), and memoizes
+labelings by ``(graph fingerprint, algorithm, seed, beta)`` so repeated
+connectivity queries cost one dictionary lookup.  Sessions are
+internally locked; *different* Session objects in different threads are
+isolated by the ``contextvars`` carrier and never share trackers,
+arenas or memo entries.
+
+:class:`ConnectivityService` is the multi-graph registry facade: named
+sessions built lazily from the experiment registry's graph suite.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.analysis.verify import verify_labeling
+from repro.engine.backend import ExecutionBackend, resolve_backend
+from repro.engine.workspace import make_workspace
+from repro.experiments.harness import RunProfile
+from repro.experiments.registry import build_graph, get_algorithm
+from repro.graphs.csr import CSRGraph
+from repro.pram.cost import CostTracker
+from repro.pram.sanitizer import PramSanitizer
+from repro.resilience.faults import FaultPlan
+from repro.runtime.context import current_context
+
+__all__ = ["execute_profiled", "Session", "ConnectivityService"]
+
+#: The session default: the paper's headline algorithm.
+DEFAULT_ALGORITHM = "decomp-arb-CC"
+DEFAULT_BETA = 0.2
+
+
+def execute_profiled(
+    algorithm: str,
+    graph: CSRGraph,
+    *,
+    graph_name: str = "?",
+    verify: bool = True,
+    fault_plan: Optional[FaultPlan] = None,
+    backend: Union[str, ExecutionBackend, None] = None,
+    sanitize: bool = False,
+    halt_on_race: bool = True,
+    tracker: Optional[CostTracker] = None,
+    workspace: object = None,
+    **algorithm_kwargs: object,
+) -> RunProfile:
+    """Run *algorithm* once inside one derived execution context.
+
+    The single entry point every runtime client goes through: builds a
+    child of the current context carrying a fresh tracker (or the given
+    one), the resolved *backend*, an optional sanitizer and an optional
+    pooled *workspace*, activates it for exactly one algorithm
+    execution, and returns the :class:`RunProfile`.  A *fault_plan* is
+    armed inside the context (one call = one run against its sabotage
+    budget).  Verification happens outside the context so its costs
+    never pollute the run's profile.
+    """
+    spec = get_algorithm(algorithm)
+    overrides: Dict[str, object] = {
+        "tracker": tracker if tracker is not None else CostTracker()
+    }
+    if backend is not None:
+        overrides["backend"] = resolve_backend(backend)
+    if sanitize:
+        overrides["sanitizer"] = PramSanitizer(halt_on_race=halt_on_race)
+    if workspace is not None:
+        overrides["workspace"] = workspace
+    ctx = current_context().child(**overrides)
+    t0 = time.perf_counter()
+    with ctx.activate():
+        if fault_plan is not None:
+            with fault_plan.activate():
+                result = spec.run(graph, **algorithm_kwargs)
+        else:
+            result = spec.run(graph, **algorithm_kwargs)
+    wall = time.perf_counter() - t0
+    if verify:
+        verify_labeling(graph, result.labels)
+    return RunProfile(
+        algorithm=algorithm,
+        graph_name=graph_name,
+        result=result,
+        tracker=ctx.tracker,
+        wall_seconds=wall,
+    )
+
+
+class Session:
+    """One loaded graph, many runs and queries, pooled resources.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`CSRGraph`, or a registry graph name (built once at
+        *scale*).
+    algorithm / seed / beta:
+        Defaults for :meth:`run`; each can be overridden per call.
+    backend:
+        The backend every run of this session binds to (default: the
+        ambient context's backend at construction time).
+    verify:
+        Verify each fresh labeling before it enters the memo.
+    """
+
+    def __init__(
+        self,
+        graph: Union[CSRGraph, str],
+        *,
+        graph_name: Optional[str] = None,
+        scale: str = "small",
+        algorithm: str = DEFAULT_ALGORITHM,
+        seed: int = 1,
+        beta: float = DEFAULT_BETA,
+        backend: Union[str, ExecutionBackend, None] = None,
+        verify: bool = True,
+    ) -> None:
+        if isinstance(graph, str):
+            graph_name = graph_name if graph_name is not None else graph
+            graph = build_graph(graph, scale)
+        self.graph = graph
+        self.graph_name = graph_name if graph_name is not None else "?"
+        self.algorithm = algorithm
+        self.seed = seed
+        self.beta = beta
+        self.backend = (
+            resolve_backend(backend)
+            if backend is not None
+            else current_context().backend
+        )
+        self.verify = verify
+        self.hits = 0
+        self.misses = 0
+        self._memo: Dict[Tuple[str, str, int, float], RunProfile] = {}
+        self._pool: object = None
+        self._lock = threading.RLock()
+
+    # -- resource pooling -------------------------------------------------
+
+    def _pooled_workspace(self) -> object:
+        """The session's arena, grown to cover the current graph."""
+        if not self.backend.use_workspace:
+            return None
+        n = self.graph.num_vertices
+        if self._pool is None or getattr(self._pool, "num_vertices", 0) < n:
+            self._pool = make_workspace(self.backend, n)
+        return self._pool
+
+    # -- running ----------------------------------------------------------
+
+    def run(
+        self,
+        algorithm: Optional[str] = None,
+        *,
+        seed: Optional[int] = None,
+        beta: Optional[float] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        **algorithm_kwargs: object,
+    ) -> RunProfile:
+        """Run (or recall) one labeling of the session's graph.
+
+        Plain runs — no fault plan, no extra algorithm kwargs — are
+        memoized by ``(graph fingerprint, algorithm, seed, beta)``;
+        replacing the graph via :meth:`set_graph` changes the
+        fingerprint and therefore misses naturally.
+        """
+        algorithm = algorithm if algorithm is not None else self.algorithm
+        seed = seed if seed is not None else self.seed
+        beta = beta if beta is not None else self.beta
+        memoizable = fault_plan is None and not algorithm_kwargs
+        with self._lock:
+            key = (self.graph.fingerprint(), algorithm, seed, beta)
+            if memoizable:
+                cached = self._memo.get(key)
+                if cached is not None:
+                    self.hits += 1
+                    return cached
+            kwargs = dict(algorithm_kwargs)
+            if algorithm.startswith("decomp-"):
+                kwargs.setdefault("beta", beta)
+                kwargs.setdefault("seed", seed)
+            profile = execute_profiled(
+                algorithm,
+                self.graph,
+                graph_name=self.graph_name,
+                verify=self.verify,
+                fault_plan=fault_plan,
+                backend=self.backend,
+                workspace=self._pooled_workspace(),
+                **kwargs,
+            )
+            if memoizable:
+                self._memo[key] = profile
+                self.misses += 1
+            return profile
+
+    def activate(self):
+        """Activate a context bound to this session's backend and pool.
+
+        For callers that drive algorithm code directly (the parity
+        tests replaying golden captures through the session path)
+        rather than through :meth:`run`.
+        """
+        return current_context().child(
+            backend=self.backend,
+            workspace=self._pooled_workspace(),
+            seed=self.seed,
+        ).activate()
+
+    # -- graph management -------------------------------------------------
+
+    def set_graph(
+        self,
+        graph: Union[CSRGraph, str],
+        *,
+        graph_name: Optional[str] = None,
+        scale: str = "small",
+    ) -> None:
+        """Replace the session's graph (memo entries miss via fingerprint)."""
+        if isinstance(graph, str):
+            graph_name = graph_name if graph_name is not None else graph
+            graph = build_graph(graph, scale)
+        with self._lock:
+            self.graph = graph
+            if graph_name is not None:
+                self.graph_name = graph_name
+
+    # -- queries ----------------------------------------------------------
+
+    def components(self, algorithm: Optional[str] = None) -> np.ndarray:
+        """The component labeling (one label per vertex)."""
+        return self.run(algorithm).result.labels
+
+    def num_components(self, algorithm: Optional[str] = None) -> int:
+        return self.run(algorithm).result.num_components
+
+    def connected(
+        self,
+        u: Union[int, np.ndarray],
+        v: Union[int, np.ndarray],
+        algorithm: Optional[str] = None,
+    ) -> Union[bool, np.ndarray]:
+        """Whether *u* and *v* share a component (vectorizes over arrays)."""
+        labels = self.components(algorithm)
+        same = labels[np.asarray(u)] == labels[np.asarray(v)]
+        return bool(same) if np.ndim(same) == 0 else same
+
+    def component_sizes(self, algorithm: Optional[str] = None) -> Dict[int, int]:
+        """``{component label: vertex count}`` for every component."""
+        labels, counts = np.unique(self.components(algorithm), return_counts=True)
+        return {int(lab): int(cnt) for lab, cnt in zip(labels, counts)}
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Memo effectiveness counters (fresh runs vs. recalled)."""
+        return {"hits": self.hits, "misses": self.misses}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Session({self.graph_name!r}, algorithm={self.algorithm!r}, "
+            f"backend={self.backend.name!r}, memo={len(self._memo)})"
+        )
+
+
+class ConnectivityService:
+    """Named sessions over the experiment registry's graph suite.
+
+    The long-running-service shape: one object, many graphs, each
+    loaded at most once, each query answered from the graph's session
+    (and therefore memoized).  Thread-safe: concurrent callers may
+    open and query distinct graphs simultaneously.
+    """
+
+    def __init__(
+        self,
+        *,
+        scale: str = "small",
+        algorithm: str = DEFAULT_ALGORITHM,
+        backend: Union[str, ExecutionBackend, None] = None,
+        verify: bool = True,
+    ) -> None:
+        self.scale = scale
+        self.algorithm = algorithm
+        self.backend = backend
+        self.verify = verify
+        self._sessions: Dict[str, Session] = {}
+        self._lock = threading.Lock()
+
+    def session(self, graph_name: str, **session_kwargs: object) -> Session:
+        """The (lazily created) session for *graph_name*."""
+        with self._lock:
+            sess = self._sessions.get(graph_name)
+            if sess is None:
+                sess = Session(
+                    graph_name,
+                    scale=self.scale,
+                    algorithm=self.algorithm,
+                    backend=self.backend,
+                    verify=self.verify,
+                    **session_kwargs,  # type: ignore[arg-type]
+                )
+                self._sessions[graph_name] = sess
+            return sess
+
+    def open(self, name: str, graph: CSRGraph, **session_kwargs: object) -> Session:
+        """Register a session for an externally built graph."""
+        sess = Session(
+            graph,
+            graph_name=name,
+            algorithm=self.algorithm,
+            backend=self.backend,
+            verify=self.verify,
+            **session_kwargs,  # type: ignore[arg-type]
+        )
+        with self._lock:
+            self._sessions[name] = sess
+        return sess
+
+    def close(self, name: str) -> None:
+        with self._lock:
+            self._sessions.pop(name, None)
+
+    def components(self, graph_name: str) -> np.ndarray:
+        return self.session(graph_name).components()
+
+    def connected(
+        self, graph_name: str, u: Union[int, np.ndarray], v: Union[int, np.ndarray]
+    ) -> Union[bool, np.ndarray]:
+        return self.session(graph_name).connected(u, v)
+
+    def component_sizes(self, graph_name: str) -> Dict[int, int]:
+        return self.session(graph_name).component_sizes()
+
+    def __iter__(self) -> Iterator[str]:
+        with self._lock:
+            return iter(sorted(self._sessions))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)

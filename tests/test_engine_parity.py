@@ -24,6 +24,7 @@ import pytest
 
 from repro.decomp import DECOMP_VARIANTS
 from repro.engine.backend import use_backend
+from repro.runtime.session import Session
 
 from tests.conftest import _zoo
 from tests.golden.generate_decomp_parity import capture_bfs, capture_one
@@ -52,15 +53,8 @@ def zoo():
     return _zoo()
 
 
-@pytest.mark.parametrize("backend", BACKENDS)
-@pytest.mark.parametrize("key", _DECOMP_KEYS)
-def test_decomp_matches_pre_engine_capture(key, backend, zoo):
-    gname, variant, beta_s, seed_s = key.split("/")
-    beta = float(beta_s.split("=")[1])
-    seed = int(seed_s.split("=")[1])
-    want = _GOLD[key]
-    with use_backend(backend):
-        got = capture_one(DECOMP_VARIANTS[variant], zoo[gname], beta, seed)
+def _assert_decomp_entry(want, got):
+    """One fixture entry matches one replay: exact outputs, slacked dense depth."""
     slack = DENSE_DEPTH_SLACK_PER_ROUND * len(want["dense_rounds"])
 
     # Outputs and round statistics: exact.
@@ -97,11 +91,67 @@ def test_decomp_matches_pre_engine_capture(key, backend, zoo):
 
 
 @pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("key", _DECOMP_KEYS)
+def test_decomp_matches_pre_engine_capture(key, backend, zoo):
+    gname, variant, beta_s, seed_s = key.split("/")
+    beta = float(beta_s.split("=")[1])
+    seed = int(seed_s.split("=")[1])
+    with use_backend(backend):
+        got = capture_one(DECOMP_VARIANTS[variant], zoo[gname], beta, seed)
+    _assert_decomp_entry(_GOLD[key], got)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("key", _BFS_KEYS)
 def test_bfs_family_matches_pre_engine_capture(key, backend, zoo):
     gname = key.split("/", 1)[1]
     want = _GOLD[key]
     with use_backend(backend):
+        got = capture_bfs(zoo[gname])
+    for algo in want:
+        assert got[algo] == want[algo], algo
+
+
+# -- the same 116 entries, driven through the Session runtime path --------
+#
+# The runtime refactor's acceptance bar: a Session-bound context (its
+# backend plus its *pooled* workspace arena, reused across every replay
+# on the same graph) must reproduce each golden capture byte-for-byte.
+# One session per (graph, backend) lives for the whole module, so later
+# parametrized replays run against an arena warmed by earlier ones —
+# pooling must be observationally invisible.
+
+
+@pytest.fixture(scope="module")
+def session_for(zoo):
+    pool = {}
+
+    def get(gname, backend):
+        key = (gname, backend)
+        if key not in pool:
+            pool[key] = Session(zoo[gname], graph_name=gname, backend=backend)
+        return pool[key]
+
+    return get
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("key", _DECOMP_KEYS)
+def test_decomp_parity_via_session(key, backend, zoo, session_for):
+    gname, variant, beta_s, seed_s = key.split("/")
+    beta = float(beta_s.split("=")[1])
+    seed = int(seed_s.split("=")[1])
+    with session_for(gname, backend).activate():
+        got = capture_one(DECOMP_VARIANTS[variant], zoo[gname], beta, seed)
+    _assert_decomp_entry(_GOLD[key], got)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("key", _BFS_KEYS)
+def test_bfs_family_parity_via_session(key, backend, zoo, session_for):
+    gname = key.split("/", 1)[1]
+    want = _GOLD[key]
+    with session_for(gname, backend).activate():
         got = capture_bfs(zoo[gname])
     for algo in want:
         assert got[algo] == want[algo], algo

@@ -162,7 +162,7 @@ class TestKillAndResume:
     ALGOS = ["serial-SF", "decomp-arb-CC"]
 
     def test_interrupted_sweep_resumes_identically(self, tmp_path, monkeypatch):
-        import repro.experiments.harness as harness
+        import repro.runtime.session as session
 
         graphs = _small_sweep()
         # Reference: the sweep no one interrupted.
@@ -173,21 +173,21 @@ class TestKillAndResume:
         # Kill the run after 3 of the 4 cells.
         path = tmp_path / "sweep.json"
         meta = {"seed": 1}
-        real_profile_run = harness.profile_run
+        real_execute = session.execute_profiled
         calls = {"n": 0}
 
-        def dying_profile_run(*args, **kwargs):
+        def dying_execute(*args, **kwargs):
             calls["n"] += 1
             if calls["n"] > 3:
                 raise KeyboardInterrupt
-            return real_profile_run(*args, **kwargs)
+            return real_execute(*args, **kwargs)
 
-        monkeypatch.setattr(harness, "profile_run", dying_profile_run)
+        monkeypatch.setattr(session, "execute_profiled", dying_execute)
         killed = ResilientRunner(checkpoint=SweepCheckpoint(path, meta=meta))
         with pytest.raises(KeyboardInterrupt):
             killed.run_table2(graphs=graphs, algorithms=self.ALGOS, seed=1)
         assert killed.cells_computed == 3
-        monkeypatch.setattr(harness, "profile_run", real_profile_run)
+        monkeypatch.setattr(session, "execute_profiled", real_execute)
 
         # Resume: only the missing cell is recomputed...
         resumed_runner = ResilientRunner(
