@@ -77,7 +77,13 @@ def test_wallclock_trajectory(wallclock, tmp_path):
     assert reread["meta"]["python"] == platform.python_version()
     assert reread["meta"]["numpy"]
     assert reread["meta"]["platform"]
-    assert reread["meta"]["context"]["backend"] in ("reference", "fast")
+    # The hardware/parallelism facts (how many cores the box had, how
+    # many workers the context was bound to, the chunk grid) must ride
+    # with the numbers too — a scaling claim is meaningless without them.
+    assert reread["meta"]["cpu_count"] == (os.cpu_count() or 1)
+    assert reread["meta"]["workers"] >= 1
+    assert reread["meta"]["chunk_size"] >= 1
+    assert reread["meta"]["context"]["backend"] in ("reference", "fast", "parallel")
     assert reread["meta"]["context"]["sanitize"] is False
     assert set(reread["kernels"]) == {
         "first_winner", "radix_argsort", "expand", "hash_dedup",

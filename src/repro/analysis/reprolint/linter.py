@@ -42,6 +42,7 @@ RULE_SCOPES: Dict[str, Tuple[str, ...]] = {
     "RL002": (
         "src/repro/engine/kernels.py",
         "src/repro/engine/workspace.py",
+        "src/repro/engine/parallel.py",
     ),
     "RL003": (
         "src/repro/engine/",

@@ -26,12 +26,14 @@ Gives shell access to the whole reproduction:
 ``replay``
     Replay one fuzz-corpus case file against the full oracle.
 
-All commands accept ``--scale {tiny,small,medium}`` (default small) and
-``--backend {reference,fast}`` (default fast) — the execution backend
-changes wall-clock speed only, never results or simulated costs (see
-docs/performance.md).  The global ``--sanitize`` flag arms the runtime
-PRAM race sanitizer around whatever command runs (fast backend only; a
-detected race aborts with exit code 2).
+All commands accept ``--scale {tiny,small,medium}`` (default small),
+``--backend`` naming any registered execution backend (default fast),
+and ``--workers N`` (thread count for the chunked ``parallel``
+backend) — the execution backend changes wall-clock speed only, never
+results or simulated costs (see docs/performance.md).  The global
+``--sanitize`` flag arms the runtime PRAM race sanitizer around
+whatever command runs (optimized backends only; a detected race aborts
+with exit code 2).
 
 ``run`` and ``table2`` additionally take the resilience options
 (``--retries``, ``--inject-fault``; ``table2`` also ``--checkpoint`` /
@@ -90,17 +92,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         choices=sorted(BACKENDS),
         default=DEFAULT_BACKEND_NAME,
-        help="execution backend: same results and simulated costs either "
-        "way, 'fast' avoids per-round allocation/sorting wall-clock waste "
+        help="execution backend: same results and simulated costs with "
+        f"any of {{{', '.join(sorted(BACKENDS))}}}; the optimized backends "
+        "only change wall-clock speed "
         f"(default: {DEFAULT_BACKEND_NAME}; see docs/performance.md)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker threads for the chunked 'parallel' backend "
+        "(default: 1; other backends ignore it)",
     )
     parser.add_argument(
         "--sanitize",
         action="store_true",
         help="arm the runtime PRAM race sanitizer: every engine run is "
         "checked for same-round conflicting non-atomic writes and CAS "
-        "schedule violations (fast backend only; see "
-        "docs/static_analysis.md)",
+        "schedule violations (optimized backends: "
+        f"{', '.join(sorted(n for n in BACKENDS if n != 'reference'))}; "
+        "see docs/static_analysis.md)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -527,19 +539,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         if args.sanitize and args.backend == "reference":
+            sanitizable = sorted(n for n in BACKENDS if n != "reference")
             raise ParameterError(
-                "--sanitize validates the fast backend against the "
-                "reference schedule; it cannot be combined with "
-                "--backend reference (use the library API "
+                "--sanitize validates the optimized backends "
+                f"({', '.join(sanitizable)}) against the reference "
+                "schedule; it cannot be combined with --backend "
+                "reference (use the library API "
                 "repro.pram.sanitizing() to sanitize the reference "
                 "backend directly)"
             )
-        # One execution context for the whole command: the --backend
-        # and --sanitize flags become context fields, and every run the
-        # command performs derives its child context from this one.
+        if args.workers < 1:
+            raise ParameterError(
+                f"--workers must be >= 1, got {args.workers}"
+            )
+        # One execution context for the whole command: the --backend,
+        # --workers and --sanitize flags become context fields, and
+        # every run the command performs derives its child context
+        # from this one.
         from repro.runtime.context import current_context
 
-        overrides: dict = {"backend": resolve_backend(args.backend)}
+        overrides: dict = {
+            "backend": resolve_backend(args.backend),
+            "workers": args.workers,
+        }
         sanitizer = None
         if args.sanitize:
             from repro.pram.sanitizer import PramSanitizer

@@ -57,6 +57,7 @@ from repro.engine.kernels import (
     filter_edges,
     min_round,
 )
+from repro.engine.parallel import PARALLEL, ParallelWorkspace
 from repro.engine.state import BFSTreeState, ComponentLabelState
 from repro.engine.tiebreak import (
     TIEBREAK_POLICIES,
@@ -84,6 +85,8 @@ __all__ = [
     "NullWorkspace",
     "NULL_WORKSPACE",
     "make_workspace",
+    "PARALLEL",
+    "ParallelWorkspace",
     "TraversalEngine",
     "TraversalState",
     "end_round",

@@ -1,7 +1,7 @@
 """Execution backends: *how* the kernels run, never *what* they compute.
 
-The engine's round kernels admit two executions of the same PRAM step
-batch:
+The engine's round kernels admit three executions of the same PRAM
+step batch:
 
 * ``reference`` — the historical kernels: every temporary is a fresh
   NumPy allocation, the CAS race resolves through a sort
@@ -17,6 +17,11 @@ batch:
   one fused pass, dense rounds reuse arena bitmaps, and contraction
   builds its sub-graphs through the trusted (validation-free)
   constructor path.
+* ``parallel`` — the fast kernels executed across a persistent thread
+  pool (:mod:`repro.engine.parallel`): fixed-size chunks over
+  vertex/edge ranges, per-worker workspace shards for the CRCW
+  reductions, and a sequential deterministic combine, so outputs and
+  charges stay byte-identical to ``fast`` at any worker count.
 
 The parity contract — enforced by ``tests/test_engine_parity.py``
 replaying the golden fixture under *both* backends — is that switching
@@ -80,6 +85,11 @@ class ExecutionBackend:
         Build contraction sub-graphs via the trusted constructor path
         (skip re-validating invariants the contraction itself just
         established); public builders still validate.
+    chunked:
+        Execute the hot kernels in fixed-size chunks across the
+        execution context's worker pool
+        (:class:`~repro.engine.parallel.ParallelWorkspace`); the worker
+        count rides in ``ExecutionContext.workers``.
     """
 
     name: str
@@ -89,6 +99,7 @@ class ExecutionBackend:
     fused_sort: bool
     bitmap_dense: bool
     trusted_contraction: bool
+    chunked: bool = False
 
 
 REFERENCE = ExecutionBackend(
@@ -183,3 +194,11 @@ def use_backend(spec: Union[str, ExecutionBackend]) -> Iterator[ExecutionBackend
     backend = resolve_backend(spec)
     with current_context().child(backend=backend).activate():
         yield backend
+
+
+# Registration side effect: importing the registry always registers the
+# parallel backend too (repro.engine.parallel appends itself to
+# BACKENDS).  The import sits at module bottom so parallel.py can in
+# turn import ExecutionBackend/BACKENDS from the (by then initialised)
+# top of this module without a cycle.
+import repro.engine.parallel as _parallel  # noqa: E402,F401  isort:skip

@@ -159,7 +159,11 @@ def min_round(
         keys = ws.take(frac, cu_unvis, "min.keys")
         keys = encode_pair(keys, cu_unvis, check=not trusted_keys, out=keys)
         write_min(
-            pair, ws.take(dst, unvis_pos, "min.dstunvis"), keys, tracker=tracker
+            pair,
+            ws.take(dst, unvis_pos, "min.dstunvis"),
+            keys,
+            tracker=tracker,
+            workspace=ws,
         )
 
         # Edges to visited targets resolve now: inter iff labels differ.

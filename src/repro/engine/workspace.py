@@ -36,6 +36,8 @@ from typing import TYPE_CHECKING, Dict, Tuple, Union
 
 import numpy as np
 
+from repro.primitives.rand import splitmix64
+
 if TYPE_CHECKING:
     from numpy.typing import DTypeLike
 
@@ -106,6 +108,31 @@ class NullWorkspace:
             starts - np.concatenate(([0], np.cumsum(counts)[:-1])), counts
         )
         return pos + np.arange(total, dtype=np.int64)
+
+    def hash_slots(
+        self, keys: np.ndarray, seed: np.uint64, mask: np.uint64, key: str
+    ) -> np.ndarray:
+        """Initial probe slots: ``splitmix64(keys ^ seed) & mask``.
+
+        The hash table's per-batch slot computation, exposed as a
+        workspace op so the chunked backend can split it across
+        workers.  Always a fresh array — the table mutates slots as the
+        probe loop advances.
+        """
+        h = splitmix64(keys.astype(np.uint64) ^ seed)
+        return (h & mask).astype(np.int64)
+
+    def minimum_scatter(
+        self, dest: np.ndarray, idx: np.ndarray, values: np.ndarray
+    ) -> None:
+        """One batch of priority-CRCW writeMins: ``dest[idx] min= values``.
+
+        The execution seam of :func:`repro.primitives.atomics.write_min`
+        (which owns the charging and the sanitizer seam); the chunked
+        backend overrides this with per-worker shard minima and a
+        sequential combine.
+        """
+        np.minimum.at(dest, idx, values)
 
 
 #: The shared stateless reference workspace.
@@ -272,9 +299,17 @@ class Workspace(NullWorkspace):
 
 
 def make_workspace(
-    backend: "ExecutionBackend", num_vertices: int
+    backend: "ExecutionBackend", num_vertices: int, workers: int = 1
 ) -> Union[Workspace, NullWorkspace]:
-    """The workspace a run should thread through its kernels."""
+    """The workspace a run should thread through its kernels.
+
+    *workers* sizes the chunked backend's shard pool (the execution
+    context's worker count); the serial backends ignore it.
+    """
+    if backend.chunked:
+        from repro.engine.parallel import ParallelWorkspace
+
+        return ParallelWorkspace(num_vertices, workers=workers)
     if backend.use_workspace:
         return Workspace(num_vertices)
     return NULL_WORKSPACE

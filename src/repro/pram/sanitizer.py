@@ -158,6 +158,7 @@ class PramSanitizer:
         self.cas_checked = 0
         self.writes_recorded = 0
         self.atomics_recorded = 0
+        self.combines_recorded = 0
         self._frames: List[_RunFrame] = []
 
     # -- engine seam (TraversalEngine.run) ---------------------------------
@@ -285,6 +286,20 @@ class PramSanitizer:
             np.asarray(idx, dtype=np.int64).ravel()
         )
 
+    def record_combine(self, kind: str, shards: int) -> None:
+        """A chunked kernel merged *shards* per-worker partials.
+
+        The parallel backend's contract: worker threads never mutate a
+        registered shared array — they fill private per-worker shards,
+        and the *calling* thread merges them sequentially before the
+        kernel returns.  The end-of-round snapshot diff
+        (:meth:`close_round`) therefore always runs strictly after the
+        combine barrier; this counter records that the barrier was
+        crossed so a sanitized parallel run can assert its sharded
+        merges were actually covered.
+        """
+        self.combines_recorded += 1
+
     def sanction(self, dests: np.ndarray) -> None:
         """A resolved CAS race entitles its winners to claim-once writes.
 
@@ -340,11 +355,14 @@ class PramSanitizer:
 
     def summary(self) -> str:
         """One-line human summary (the CLI prints this after a run)."""
-        return (
+        msg = (
             f"sanitizer: {len(self.races)} race(s) in "
             f"{self.rounds_checked} round(s) across {self.runs_monitored} "
             f"run(s); {self.cas_checked} CAS batches checked"
         )
+        if self.combines_recorded:
+            msg += f", {self.combines_recorded} sharded combine(s)"
+        return msg
 
     # -- internals ---------------------------------------------------------
 

@@ -96,6 +96,7 @@ def write_min(
     values: np.ndarray,
     *,
     tracker: Optional[CostTracker] = None,
+    workspace: Optional[NullWorkspace] = None,
 ) -> None:
     """One synchronous round of priority-CRCW writeMins.
 
@@ -106,7 +107,11 @@ def write_min(
 
     Mutates *dest* in place.  *tracker* lets round kernels pass the
     tracker they already resolved (one context-var read per round, not
-    per primitive).
+    per primitive).  *workspace* is the execution seam: when the round
+    kernel passes one, its ``minimum_scatter`` runs the scatter (the
+    chunked backend shards it per worker); charging and the sanitizer
+    record stay here either way, so the execution strategy is
+    cost-model invisible.
     """
     idx = np.asarray(idx)
     values = np.asarray(values)
@@ -118,7 +123,10 @@ def write_min(
     sanitizer = current_context().sanitizer
     if sanitizer is not None:
         sanitizer.record_atomic(dest, idx)
-    np.minimum.at(dest, idx, values)
+    if workspace is not None:
+        workspace.minimum_scatter(dest, idx, values)
+    else:
+        np.minimum.at(dest, idx, values)
 
 
 def first_winner(

@@ -67,8 +67,11 @@ class HashTable:
         self._workspace = current_context().acquire_workspace(self.size)
 
     def _hash(self, keys: np.ndarray) -> np.ndarray:
-        h = splitmix64(keys.astype(np.uint64) ^ self._seed)
-        return (h & self._mask).astype(np.int64)
+        # Workspace seam: the chunked backend splits the slot hash
+        # across workers; every implementation computes
+        # splitmix64(keys ^ seed) & mask into a fresh array (the probe
+        # loop mutates the slots as it advances).
+        return self._workspace.hash_slots(keys, self._seed, self._mask, "hash#slots")
 
     def insert(self, keys: np.ndarray) -> np.ndarray:
         """Insert *keys*; returns a bool mask of which were newly inserted.

@@ -89,6 +89,10 @@ class ExecutionContext:
     workspace:
         An optional pooled :class:`~repro.engine.workspace.Workspace`
         arena offered to the next run (see :meth:`acquire_workspace`).
+    workers:
+        Worker-thread count for the chunked (``parallel``) backend's
+        persistent pool; the serial backends ignore it.  Clamped to at
+        least 1.
     seed / rng:
         The context's seed and the generator derived from it; a
         :class:`~repro.runtime.session.Session` threads its seed here
@@ -100,10 +104,12 @@ class ExecutionContext:
     fault_plan: "Optional[FaultPlan]" = None
     sanitizer: "Optional[PramSanitizer]" = None
     workspace: "Optional[NullWorkspace]" = None
+    workers: int = 1
     seed: int = 0
     rng: Optional[np.random.Generator] = None
 
     def __post_init__(self) -> None:
+        self.workers = max(1, int(self.workers))
         if self.rng is None:
             self.rng = np.random.default_rng(self.seed)
 
@@ -156,7 +162,7 @@ class ExecutionContext:
             return ws
         from repro.engine.workspace import make_workspace
 
-        return make_workspace(self.backend, num_vertices)
+        return make_workspace(self.backend, num_vertices, self.workers)
 
 
 #: The ambient default: null tracker, process-default backend, nothing

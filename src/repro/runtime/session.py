@@ -61,6 +61,7 @@ def execute_profiled(
     halt_on_race: bool = True,
     tracker: Optional[CostTracker] = None,
     workspace: object = None,
+    workers: Optional[int] = None,
     **algorithm_kwargs: object,
 ) -> RunProfile:
     """Run *algorithm* once inside one derived execution context.
@@ -71,8 +72,10 @@ def execute_profiled(
     pooled *workspace*, activates it for exactly one algorithm
     execution, and returns the :class:`RunProfile`.  A *fault_plan* is
     armed inside the context (one call = one run against its sabotage
-    budget).  Verification happens outside the context so its costs
-    never pollute the run's profile.
+    budget).  *workers* binds the chunked backend's thread count for
+    this run (``None`` inherits the ambient context's count).
+    Verification happens outside the context so its costs never
+    pollute the run's profile.
     """
     spec = get_algorithm(algorithm)
     overrides: Dict[str, object] = {
@@ -80,6 +83,8 @@ def execute_profiled(
     }
     if backend is not None:
         overrides["backend"] = resolve_backend(backend)
+    if workers is not None:
+        overrides["workers"] = max(1, int(workers))
     if sanitize:
         overrides["sanitizer"] = PramSanitizer(halt_on_race=halt_on_race)
     if workspace is not None:
@@ -117,6 +122,10 @@ class Session:
     backend:
         The backend every run of this session binds to (default: the
         ambient context's backend at construction time).
+    workers:
+        Thread count for the chunked (``parallel``) backend; serial
+        backends ignore it (default: the ambient context's count at
+        construction time, mirroring *backend*).
     verify:
         Verify each fresh labeling before it enters the memo.
     """
@@ -131,6 +140,7 @@ class Session:
         seed: int = 1,
         beta: float = DEFAULT_BETA,
         backend: Union[str, ExecutionBackend, None] = None,
+        workers: Optional[int] = None,
         verify: bool = True,
     ) -> None:
         if isinstance(graph, str):
@@ -146,23 +156,52 @@ class Session:
             if backend is not None
             else current_context().backend
         )
+        self.workers = (
+            max(1, int(workers))
+            if workers is not None
+            else current_context().workers
+        )
         self.verify = verify
         self.hits = 0
         self.misses = 0
         self._memo: Dict[Tuple[str, str, int, float], RunProfile] = {}
         self._pool: object = None
+        self._pool_busy = False
+        self._inflight: Dict[Tuple[str, str, int, float], threading.Event] = {}
         self._lock = threading.RLock()
 
     # -- resource pooling -------------------------------------------------
 
-    def _pooled_workspace(self) -> object:
-        """The session's arena, grown to cover the current graph."""
+    def _ensure_pool(self) -> object:
+        """The session's arena, grown to cover the current graph.
+
+        Caller must hold ``self._lock``.
+        """
         if not self.backend.use_workspace:
             return None
         n = self.graph.num_vertices
         if self._pool is None or getattr(self._pool, "num_vertices", 0) < n:
-            self._pool = make_workspace(self.backend, n)
+            self._pool = make_workspace(self.backend, n, self.workers)
         return self._pool
+
+    def _claim_pool(self) -> object:
+        """Claim the arena for one run (caller must :meth:`_release_pool`).
+
+        Caller must hold ``self._lock``.  Returns ``None`` when another
+        run already holds it — that run proceeds on a fresh per-run
+        arena instead of waiting (compute never blocks on the pool).
+        """
+        if self._pool_busy:
+            return None
+        workspace = self._ensure_pool()
+        if workspace is not None:
+            self._pool_busy = True
+        return workspace
+
+    def _release_pool(self, workspace: object) -> None:
+        """Return a claimed arena (caller must hold ``self._lock``)."""
+        if workspace is not None and workspace is self._pool:
+            self._pool_busy = False
 
     # -- running ----------------------------------------------------------
 
@@ -181,47 +220,84 @@ class Session:
         memoized by ``(graph fingerprint, algorithm, seed, beta)``;
         replacing the graph via :meth:`set_graph` changes the
         fingerprint and therefore misses naturally.
+
+        The session lock guards only the bookkeeping (memo, pool claim,
+        in-flight table) — the labeling itself computes *outside* the
+        lock, so concurrent callers over different keys run truly in
+        parallel.  Concurrent callers on the *same* key coalesce: one
+        computes, the rest wait on a per-key event and return the memo
+        entry (one hit each, exactly as if they had arrived later).
         """
         algorithm = algorithm if algorithm is not None else self.algorithm
         seed = seed if seed is not None else self.seed
         beta = beta if beta is not None else self.beta
         memoizable = fault_plan is None and not algorithm_kwargs
-        with self._lock:
-            key = (self.graph.fingerprint(), algorithm, seed, beta)
-            if memoizable:
-                cached = self._memo.get(key)
-                if cached is not None:
-                    self.hits += 1
-                    return cached
-            kwargs = dict(algorithm_kwargs)
-            if algorithm.startswith("decomp-"):
-                kwargs.setdefault("beta", beta)
-                kwargs.setdefault("seed", seed)
-            profile = execute_profiled(
-                algorithm,
-                self.graph,
-                graph_name=self.graph_name,
-                verify=self.verify,
-                fault_plan=fault_plan,
-                backend=self.backend,
-                workspace=self._pooled_workspace(),
-                **kwargs,
-            )
-            if memoizable:
-                self._memo[key] = profile
-                self.misses += 1
-            return profile
+        kwargs = dict(algorithm_kwargs)
+        if algorithm.startswith("decomp-"):
+            kwargs.setdefault("beta", beta)
+            kwargs.setdefault("seed", seed)
+        while True:
+            wait_for: Optional[threading.Event] = None
+            done: Optional[threading.Event] = None
+            with self._lock:
+                key = (self.graph.fingerprint(), algorithm, seed, beta)
+                graph, graph_name = self.graph, self.graph_name
+                if memoizable:
+                    cached = self._memo.get(key)
+                    if cached is not None:
+                        self.hits += 1
+                        return cached
+                    wait_for = self._inflight.get(key)
+                    if wait_for is None:
+                        done = threading.Event()
+                        self._inflight[key] = done
+                if wait_for is None:
+                    workspace = self._claim_pool()
+            if wait_for is not None:
+                # Someone else is computing this key; when they finish
+                # (or fail), re-check the memo — on failure this caller
+                # becomes the next owner and retries the computation.
+                wait_for.wait()
+                continue
+            try:
+                profile = execute_profiled(
+                    algorithm,
+                    graph,
+                    graph_name=graph_name,
+                    verify=self.verify,
+                    fault_plan=fault_plan,
+                    backend=self.backend,
+                    workspace=workspace,
+                    workers=self.workers,
+                    **kwargs,
+                )
+                with self._lock:
+                    if memoizable:
+                        self._memo[key] = profile
+                        self.misses += 1
+                return profile
+            finally:
+                with self._lock:
+                    self._release_pool(workspace)
+                    if done is not None:
+                        self._inflight.pop(key, None)
+                if done is not None:
+                    done.set()
 
     def activate(self):
         """Activate a context bound to this session's backend and pool.
 
         For callers that drive algorithm code directly (the parity
         tests replaying golden captures through the session path)
-        rather than through :meth:`run`.
+        rather than through :meth:`run`.  Offers the pooled arena only
+        when no :meth:`run` currently holds it.
         """
+        with self._lock:
+            workspace = None if self._pool_busy else self._ensure_pool()
         return current_context().child(
             backend=self.backend,
-            workspace=self._pooled_workspace(),
+            workspace=workspace,
+            workers=self.workers,
             seed=self.seed,
         ).activate()
 
@@ -295,11 +371,13 @@ class ConnectivityService:
         scale: str = "small",
         algorithm: str = DEFAULT_ALGORITHM,
         backend: Union[str, ExecutionBackend, None] = None,
+        workers: Optional[int] = None,
         verify: bool = True,
     ) -> None:
         self.scale = scale
         self.algorithm = algorithm
         self.backend = backend
+        self.workers = workers
         self.verify = verify
         self._sessions: Dict[str, Session] = {}
         self._lock = threading.Lock()
@@ -314,6 +392,7 @@ class ConnectivityService:
                     scale=self.scale,
                     algorithm=self.algorithm,
                     backend=self.backend,
+                    workers=self.workers,
                     verify=self.verify,
                     **session_kwargs,  # type: ignore[arg-type]
                 )
@@ -327,6 +406,7 @@ class ConnectivityService:
             graph_name=name,
             algorithm=self.algorithm,
             backend=self.backend,
+            workers=self.workers,
             verify=self.verify,
             **session_kwargs,  # type: ignore[arg-type]
         )

@@ -191,7 +191,9 @@ def test_table_size_invariants(n):
 
 
 def test_backend_registry_and_resolution():
-    assert set(BACKENDS) == {"reference", "fast"}
+    assert set(BACKENDS) == {"reference", "fast", "parallel"}
+    assert BACKENDS["parallel"].chunked and BACKENDS["parallel"].use_workspace
+    assert not FAST.chunked and not REFERENCE.chunked
     assert resolve_backend("fast") is FAST
     assert resolve_backend(REFERENCE) is REFERENCE
     assert resolve_backend(None) is current_backend()

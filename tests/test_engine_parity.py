@@ -23,15 +23,47 @@ import os
 import pytest
 
 from repro.decomp import DECOMP_VARIANTS
-from repro.engine.backend import use_backend
+from repro.engine.backend import resolve_backend
+from repro.engine.parallel import ParallelWorkspace
+from repro.runtime.context import current_context
 from repro.runtime.session import Session
 
 from tests.conftest import _zoo
 from tests.golden.generate_decomp_parity import capture_bfs, capture_one
 
-#: Every fixture entry must replay identically under both execution
-#: backends — the parity contract of ``repro.engine.backend``.
-BACKENDS = ["reference", "fast"]
+#: Every fixture entry must replay identically under every execution
+#: backend — the parity contract of ``repro.engine.backend``.  The
+#: chunked parallel backend additionally must be worker-count invariant,
+#: so it replays at 1, 2, and 4 workers.
+EXECUTIONS = [
+    pytest.param(("reference", 1), id="reference"),
+    pytest.param(("fast", 1), id="fast"),
+    pytest.param(("parallel", 1), id="parallel-w1"),
+    pytest.param(("parallel", 2), id="parallel-w2"),
+    pytest.param(("parallel", 4), id="parallel-w4"),
+]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _tiny_chunks():
+    """Shrink the chunk grid so the zoo graphs actually get chunked.
+
+    At the production chunk size (32768) every zoo graph fits in one
+    chunk and the parallel backend would silently take its serial
+    fallback everywhere — the multi-worker replays would prove nothing.
+    """
+    saved = ParallelWorkspace.chunk_size
+    ParallelWorkspace.chunk_size = 64
+    try:
+        yield
+    finally:
+        ParallelWorkspace.chunk_size = saved
+
+
+def _activate(backend, workers):
+    return current_context().child(
+        backend=resolve_backend(backend), workers=workers
+    ).activate()
 
 FIXTURE = os.path.join(os.path.dirname(__file__), "golden", "decomp_parity.json")
 
@@ -90,23 +122,25 @@ def _assert_decomp_entry(want, got):
         assert got["total_depth"] == want["total_depth"]
 
 
-@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("execution", EXECUTIONS)
 @pytest.mark.parametrize("key", _DECOMP_KEYS)
-def test_decomp_matches_pre_engine_capture(key, backend, zoo):
+def test_decomp_matches_pre_engine_capture(key, execution, zoo):
+    backend, workers = execution
     gname, variant, beta_s, seed_s = key.split("/")
     beta = float(beta_s.split("=")[1])
     seed = int(seed_s.split("=")[1])
-    with use_backend(backend):
+    with _activate(backend, workers):
         got = capture_one(DECOMP_VARIANTS[variant], zoo[gname], beta, seed)
     _assert_decomp_entry(_GOLD[key], got)
 
 
-@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("execution", EXECUTIONS)
 @pytest.mark.parametrize("key", _BFS_KEYS)
-def test_bfs_family_matches_pre_engine_capture(key, backend, zoo):
+def test_bfs_family_matches_pre_engine_capture(key, execution, zoo):
+    backend, workers = execution
     gname = key.split("/", 1)[1]
     want = _GOLD[key]
-    with use_backend(backend):
+    with _activate(backend, workers):
         got = capture_bfs(zoo[gname])
     for algo in want:
         assert got[algo] == want[algo], algo
@@ -126,32 +160,36 @@ def test_bfs_family_matches_pre_engine_capture(key, backend, zoo):
 def session_for(zoo):
     pool = {}
 
-    def get(gname, backend):
-        key = (gname, backend)
+    def get(gname, backend, workers):
+        key = (gname, backend, workers)
         if key not in pool:
-            pool[key] = Session(zoo[gname], graph_name=gname, backend=backend)
+            pool[key] = Session(
+                zoo[gname], graph_name=gname, backend=backend, workers=workers
+            )
         return pool[key]
 
     return get
 
 
-@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("execution", EXECUTIONS)
 @pytest.mark.parametrize("key", _DECOMP_KEYS)
-def test_decomp_parity_via_session(key, backend, zoo, session_for):
+def test_decomp_parity_via_session(key, execution, zoo, session_for):
+    backend, workers = execution
     gname, variant, beta_s, seed_s = key.split("/")
     beta = float(beta_s.split("=")[1])
     seed = int(seed_s.split("=")[1])
-    with session_for(gname, backend).activate():
+    with session_for(gname, backend, workers).activate():
         got = capture_one(DECOMP_VARIANTS[variant], zoo[gname], beta, seed)
     _assert_decomp_entry(_GOLD[key], got)
 
 
-@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("execution", EXECUTIONS)
 @pytest.mark.parametrize("key", _BFS_KEYS)
-def test_bfs_family_parity_via_session(key, backend, zoo, session_for):
+def test_bfs_family_parity_via_session(key, execution, zoo, session_for):
+    backend, workers = execution
     gname = key.split("/", 1)[1]
     want = _GOLD[key]
-    with session_for(gname, backend).activate():
+    with session_for(gname, backend, workers).activate():
         got = capture_bfs(zoo[gname])
     for algo in want:
         assert got[algo] == want[algo], algo
