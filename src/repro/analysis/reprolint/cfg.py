@@ -1,0 +1,301 @@
+"""Per-function control-flow graphs for the flow-based lint rules.
+
+One :class:`CFG` node per statement (plus synthetic entry/exit and
+join nodes), built directly from the ``ast``.  The graph models the
+control constructs the lifecycle rules care about:
+
+* ``if`` / ``while`` / ``for`` branching, with loop back edges and
+  ``break`` / ``continue`` resolution;
+* ``try`` / ``except`` / ``else`` / ``finally`` — the body's normal
+  exit and every handler route through the ``finally`` subgraph, and
+  potentially-raising statements get an *exceptional* edge to the
+  innermost handler (or ``finally`` head, or the function exit when
+  nothing encloses them).  A ``return`` inside a ``try`` routes
+  through the enclosing ``finally`` blocks, which is exactly what the
+  RL008 typestate analysis needs to prove a ``finally``-released
+  resource safe;
+* ``with`` bodies (linear; the construct itself does not catch);
+* comprehensions and lambdas stay inside their statement's node —
+  they are expressions, not control flow, at this level.
+
+Exceptional edges are deliberately coarse: any statement containing a
+call, ``yield``, ``assert`` or ``raise`` may transfer to the innermost
+exception target.  Over-approximating raise sites only ever *adds*
+paths, which keeps the must-style analyses built on top conservative
+(they may miss a safe proof, never invent one).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = ["CFG", "CFGNode", "build_cfg"]
+
+
+@dataclass
+class CFGNode:
+    """One statement (or synthetic point) in the flow graph."""
+
+    nid: int
+    #: The statement (or except-handler clause) this node executes.
+    stmt: Optional[ast.AST]
+    label: str
+    #: Normal-flow successor node ids.
+    succs: Set[int] = field(default_factory=set)
+    #: Exceptional successors (the statement raised mid-execution).
+    exc_succs: Set[int] = field(default_factory=set)
+
+    @property
+    def line(self) -> int:
+        return int(getattr(self.stmt, "lineno", 0))
+
+
+@dataclass
+class CFG:
+    """Control-flow graph of one function body."""
+
+    nodes: Dict[int, CFGNode]
+    entry: int
+    exit: int
+
+    def preds(self) -> Dict[int, Set[int]]:
+        """Predecessor map over both normal and exceptional edges."""
+        preds: Dict[int, Set[int]] = {nid: set() for nid in self.nodes}
+        for node in self.nodes.values():
+            for succ in node.succs | node.exc_succs:
+                preds[succ].add(node.nid)
+        return preds
+
+    def exit_preds(self) -> List[Tuple[CFGNode, bool]]:
+        """``(node, via_exception)`` pairs for every edge into the exit."""
+        pairs: List[Tuple[CFGNode, bool]] = []
+        for node in self.nodes.values():
+            if self.exit in node.succs:
+                pairs.append((node, False))
+            if self.exit in node.exc_succs:
+                pairs.append((node, True))
+        return pairs
+
+
+def _may_raise(stmt: ast.stmt) -> bool:
+    """Whether *stmt* itself can transfer to an exception handler.
+
+    Nested function/class bodies are separate CFGs; a call *inside* a
+    nested ``def`` does not raise here, so the walk stops at them.
+    """
+    if isinstance(stmt, (ast.Raise, ast.Assert)):
+        return True
+    for node in ast.walk(stmt):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # ast.walk is breadth-first over everything; approximate by
+            # ignoring these subtrees via an explicit check below.
+            continue
+        if isinstance(node, (ast.Call, ast.Yield, ast.YieldFrom, ast.Await)):
+            if _inside_nested_def(stmt, node):
+                continue
+            return True
+    return False
+
+
+def _expr_may_raise(*exprs: ast.expr) -> bool:
+    """Whether evaluating any of *exprs* can raise (contains a call)."""
+    for expr in exprs:
+        for node in ast.walk(expr):
+            if isinstance(node, (ast.Call, ast.Yield, ast.YieldFrom, ast.Await)):
+                return True
+    return False
+
+
+def _inside_nested_def(root: ast.stmt, target: ast.AST) -> bool:
+    """Is *target* nested under a function/lambda defined inside *root*?"""
+    # Build a parent map lazily per statement; statements are small.
+    stack: List[Tuple[ast.AST, bool]] = [(root, False)]
+    while stack:
+        node, nested = stack.pop()
+        if node is target:
+            return nested
+        for child in ast.iter_child_nodes(node):
+            child_nested = nested or isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            )
+            stack.append((child, child_nested))
+    return False
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.nodes: Dict[int, CFGNode] = {}
+        self._next = 0
+
+    def new(self, stmt: Optional[ast.AST] = None, label: str = "") -> int:
+        nid = self._next
+        self._next += 1
+        self.nodes[nid] = CFGNode(nid=nid, stmt=stmt, label=label)
+        return nid
+
+    def edge(self, src: int, dst: int) -> None:
+        self.nodes[src].succs.add(dst)
+
+    def exc_edge(self, src: int, dst: int) -> None:
+        self.nodes[src].exc_succs.add(dst)
+
+
+def build_cfg(fn: ast.FunctionDef) -> CFG:
+    """Build the statement-level CFG of *fn* (sync or async)."""
+    b = _Builder()
+    entry = b.new(label="entry")
+    exit_ = b.new(label="exit")
+
+    # Loop targets: (continue_target, break_target) stack.
+    loops: List[Tuple[int, int]] = []
+    # Heads of the active ``finally`` subgraphs, innermost last: a
+    # ``return`` transfers through the innermost one (whose own exit
+    # continues onward — over-approximate, never path-hiding).
+    finallies: List[int] = []
+
+    def connect_all(srcs: Set[int], dst: int) -> None:
+        for src in srcs:
+            b.edge(src, dst)
+
+    def build_stmts(
+        stmts: List[ast.stmt], preds: Set[int], exc_target: int
+    ) -> Set[int]:
+        """Wire *stmts* after *preds*; return the fall-through node set."""
+        current = set(preds)
+        for stmt in stmts:
+            if not current:
+                break  # unreachable tail
+            current = build_stmt(stmt, current, exc_target)
+        return current
+
+    def build_stmt(
+        stmt: ast.stmt, preds: Set[int], exc_target: int
+    ) -> Set[int]:
+        if isinstance(stmt, ast.If):
+            node = b.new(stmt, "if")
+            connect_all(preds, node)
+            if _expr_may_raise(stmt.test):
+                b.exc_edge(node, exc_target)
+            then = build_stmts(stmt.body, {node}, exc_target)
+            other = build_stmts(stmt.orelse, {node}, exc_target)
+            return then | other
+
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            header = b.new(stmt, "loop")
+            connect_all(preds, header)
+            header_exprs = (
+                [stmt.test] if isinstance(stmt, ast.While) else [stmt.iter]
+            )
+            if _expr_may_raise(*header_exprs):
+                b.exc_edge(header, exc_target)
+            post = b.new(label="loop-join")
+            loops.append((header, post))
+            body_exits = build_stmts(stmt.body, {header}, exc_target)
+            loops.pop()
+            connect_all(body_exits, header)
+            orelse_exits = build_stmts(stmt.orelse, {header}, exc_target)
+            connect_all(orelse_exits or {header}, post)
+            if not stmt.orelse:
+                b.edge(header, post)
+            return {post}
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            node = b.new(stmt, "with")
+            connect_all(preds, node)
+            if _expr_may_raise(*(item.context_expr for item in stmt.items)):
+                b.exc_edge(node, exc_target)
+            return build_stmts(stmt.body, {node}, exc_target)
+
+        if isinstance(stmt, ast.Try):
+            finally_head = (
+                b.new(label="finally") if stmt.finalbody else None
+            )
+            handler_heads = [
+                b.new(h, "except") for h in stmt.handlers
+            ]
+            # Exceptions inside the body go to the handlers (any of
+            # them — matching is dynamic), else straight to finally,
+            # else out.
+            if handler_heads:
+                body_exc = handler_heads[0]
+            elif finally_head is not None:
+                body_exc = finally_head
+            else:
+                body_exc = exc_target
+            if finally_head is not None:
+                finallies.append(finally_head)
+            body_exits = build_stmts(stmt.body, preds, body_exc)
+            # All handler heads are alternative exception landing spots.
+            for extra in handler_heads[1:]:
+                for node in b.nodes.values():
+                    if body_exc in node.exc_succs:
+                        node.exc_succs.add(extra)
+            orelse_exits = build_stmts(stmt.orelse, body_exits, body_exc)
+            if stmt.orelse:
+                body_exits = orelse_exits
+            handler_exc = (
+                finally_head if finally_head is not None else exc_target
+            )
+            handler_exits: Set[int] = set()
+            for head, handler in zip(handler_heads, stmt.handlers):
+                handler_exits |= build_stmts(
+                    handler.body, {head}, handler_exc
+                )
+            normal = body_exits | handler_exits
+            if finally_head is not None:
+                finallies.pop()
+                connect_all(normal, finally_head)
+                return build_stmts(stmt.finalbody, {finally_head}, exc_target)
+            return normal
+
+        if isinstance(stmt, ast.Return):
+            node = b.new(stmt, "return")
+            connect_all(preds, node)
+            if _may_raise(stmt):
+                b.exc_edge(node, exc_target)
+            # A return inside a try must run the innermost finally; the
+            # finally subgraph's own exit continues to the code after
+            # the try, which over-approximates (extra paths), never
+            # hides one.
+            if finallies:
+                b.edge(node, finallies[-1])
+            else:
+                b.edge(node, exit_)
+            return set()
+
+        if isinstance(stmt, ast.Raise):
+            node = b.new(stmt, "raise")
+            connect_all(preds, node)
+            b.exc_edge(node, exc_target)
+            return set()
+
+        if isinstance(stmt, ast.Break):
+            node = b.new(stmt, "break")
+            connect_all(preds, node)
+            if loops:
+                b.edge(node, loops[-1][1])
+            return set()
+
+        if isinstance(stmt, ast.Continue):
+            node = b.new(stmt, "continue")
+            connect_all(preds, node)
+            if loops:
+                b.edge(node, loops[-1][0])
+            return set()
+
+        # Plain statement (assignments, expression statements, nested
+        # defs, imports, ...).  Comprehensions/lambdas inside stay in
+        # this single node.
+        node = b.new(stmt, "stmt")
+        connect_all(preds, node)
+        if _may_raise(stmt):
+            b.exc_edge(node, exc_target)
+        return {node}
+
+    tails = build_stmts(fn.body, {entry}, exit_)
+    connect_all(tails, exit_)
+    if not fn.body:
+        b.edge(entry, exit_)
+    return CFG(nodes=b.nodes, entry=entry, exit=exit_)

@@ -30,7 +30,13 @@ from repro.errors import LintConfigError
 __all__ = ["AllowEntry", "LintConfig", "load_config"]
 
 #: The rule ids the analyzer implements (see docs/static_analysis.md).
-KNOWN_RULES = ("RL001", "RL002", "RL003", "RL004", "RL005")
+KNOWN_RULES = (
+    "RL001", "RL002", "RL003", "RL004", "RL005",
+    "RL006", "RL007", "RL008", "RL009",
+)
+
+#: The keys an ``[[allow]]`` table may carry.
+_ENTRY_KEYS = frozenset({"rule", "site", "reason"})
 
 
 @dataclass
@@ -84,44 +90,72 @@ class LintConfig:
             entry.hits = 0
 
 
+def _entry_lines(raw_text: str) -> List[int]:
+    """1-based line number of each ``[[allow]]`` header, in order.
+
+    tomllib discards positions, so the loader recovers them from the
+    raw text; the i-th header annotates errors in the i-th entry.
+    """
+    lines: List[int] = []
+    for lineno, line in enumerate(raw_text.splitlines(), start=1):
+        if line.split("#", 1)[0].strip() == "[[allow]]":
+            lines.append(lineno)
+    return lines
+
+
 def load_config(path: Path) -> LintConfig:
     """Load and validate a ``reprolint.toml``.
 
     Raises :class:`~repro.errors.LintConfigError` for unparseable TOML,
-    unknown rule ids, malformed sites, or entries missing the required
-    justification ``reason``.
+    unknown rule ids, malformed sites, unknown entry keys, or entries
+    missing the required justification ``reason``.  Messages carry the
+    ``file:line`` of the offending ``[[allow]]`` entry.
     """
     try:
-        with open(path, "rb") as handle:
-            data = tomllib.load(handle)
+        raw_bytes = path.read_bytes()
     except OSError as exc:
         raise LintConfigError(f"cannot read {path}: {exc}") from exc
-    except tomllib.TOMLDecodeError as exc:
+    try:
+        data = tomllib.loads(raw_bytes.decode("utf-8"))
+    except (tomllib.TOMLDecodeError, UnicodeDecodeError) as exc:
         raise LintConfigError(f"invalid TOML in {path}: {exc}") from exc
+
+    lines = _entry_lines(raw_bytes.decode("utf-8", errors="replace"))
 
     entries: List[AllowEntry] = []
     raw_allow = data.get("allow", [])
     if not isinstance(raw_allow, list):
         raise LintConfigError(f"{path}: [allow] must be an array of tables")
     for i, raw in enumerate(raw_allow):
+        where = (
+            f"{path}:{lines[i]}: allow[{i}]"
+            if i < len(lines)
+            else f"{path}: allow[{i}]"
+        )
         if not isinstance(raw, dict):
-            raise LintConfigError(f"{path}: allow[{i}] is not a table")
+            raise LintConfigError(f"{where} is not a table")
         rule = raw.get("rule")
         site = raw.get("site")
         reason = raw.get("reason")
+        extra = set(raw) - _ENTRY_KEYS
+        if extra:
+            raise LintConfigError(
+                f"{where} has unknown keys {sorted(extra)} "
+                f"(allowed: {', '.join(sorted(_ENTRY_KEYS))})"
+            )
         if rule not in KNOWN_RULES:
             raise LintConfigError(
-                f"{path}: allow[{i}] has unknown rule {rule!r} "
+                f"{where} has unknown rule {rule!r} "
                 f"(expected one of {', '.join(KNOWN_RULES)})"
             )
         if not isinstance(site, str) or "::" not in site:
             raise LintConfigError(
-                f"{path}: allow[{i}] site must look like "
+                f"{where} site must look like "
                 f"'src/repro/...py::qualname', got {site!r}"
             )
         if not isinstance(reason, str) or not reason.strip():
             raise LintConfigError(
-                f"{path}: allow[{i}] ({rule} at {site}) is missing its "
+                f"{where} ({rule} at {site}) is missing its "
                 "justification 'reason' — unexplained suppressions are "
                 "not allowed (docs/static_analysis.md)"
             )

@@ -18,6 +18,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.analysis.reprolint import rules_flow  # noqa: F401  (registers RL006-RL009)
+from repro.analysis.reprolint.cache import CACHE_BASENAME, LintCache
 from repro.analysis.reprolint.config import AllowEntry, LintConfig, load_config
 from repro.analysis.reprolint.rules import RULE_CHECKERS, Violation
 
@@ -51,6 +53,17 @@ RULE_SCOPES: Dict[str, Tuple[str, ...]] = {
     ),
     "RL004": ("src/repro/",),
     "RL005": ("src/repro/",),
+    # The flow rules (interprocedural; see rules_flow.py).
+    "RL006": ("src/repro/engine/",),
+    "RL007": ("src/repro/engine/parallel.py",),
+    "RL008": (
+        "src/repro/runtime/",
+        "src/repro/engine/",
+        "src/repro/primitives/hashing.py",
+        "src/repro/decomp/",
+        "src/repro/connectivity/",
+    ),
+    "RL009": ("src/repro/engine/parallel.py",),
 }
 
 #: Carve-outs from RL004's blanket scope: the wall-clock harness and
@@ -173,17 +186,34 @@ def _iter_py_files(paths: Iterable[Path]) -> Iterable[Path]:
             yield path
 
 
+def _lint_file_raw(
+    path: Path, path_key: str, rules: Sequence[str]
+) -> Tuple[List[Violation], Optional[str]]:
+    """Pre-allowlist violations (and parse error) of one file."""
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+    except SyntaxError as exc:
+        return [], f"{path_key}:{exc.lineno or 0}:1: cannot parse: {exc.msg}"
+    violations: List[Violation] = []
+    for rule in rules:
+        violations.extend(RULE_CHECKERS[rule](tree, path_key))
+    return violations, None
+
+
 def lint_paths(
     paths: Sequence[Path],
     config: Optional[LintConfig] = None,
     *,
     enforce_stale: bool = True,
+    cache: Optional[LintCache] = None,
 ) -> LintReport:
     """Lint *paths* (files or trees) under *config*'s allowlist.
 
     ``enforce_stale=False`` skips the stale-allowlist check — used when
     linting an explicit subset of files, where most entries legitimately
-    never get the chance to fire.
+    never get the chance to fire.  *cache* (content-hash keyed) stores
+    *raw* per-file findings, so the allowlist — and therefore stale-entry
+    detection — is re-applied exactly on warm runs.
     """
     if config is None:
         config = LintConfig()
@@ -195,36 +225,50 @@ def lint_paths(
         if not rules:
             continue
         report.files_checked += 1
-        try:
-            tree = ast.parse(path.read_text(encoding="utf-8"))
-        except SyntaxError as exc:
-            report.parse_errors.append(
-                f"{path_key}:{exc.lineno or 0}:1: cannot parse: {exc.msg}"
-            )
+        cached = None
+        sha = None
+        if cache is not None:
+            try:
+                sha = LintCache.digest(path.read_bytes())
+            except OSError:
+                sha = None
+            if sha is not None:
+                cached = cache.lookup(path_key, sha, rules)
+        if cached is not None:
+            raw, parse_error = cached
+        else:
+            raw, parse_error = _lint_file_raw(path, path_key, rules)
+            if cache is not None and sha is not None:
+                cache.store(path_key, sha, rules, raw, parse_error)
+        if parse_error is not None:
+            report.parse_errors.append(parse_error)
             continue
-        for rule in rules:
-            for violation in RULE_CHECKERS[rule](tree, path_key):
-                if config.suppresses(
-                    path_key, violation.rule, violation.qualname
-                ):
-                    report.suppressed += 1
-                else:
-                    report.violations.append(violation)
+        for violation in raw:
+            if config.suppresses(path_key, violation.rule, violation.qualname):
+                report.suppressed += 1
+            else:
+                report.violations.append(violation)
     report.violations.sort(key=lambda v: (v.path, v.line, v.rule))
     if enforce_stale:
         report.stale_entries = config.stale_entries()
+    if cache is not None:
+        cache.save()
     return report
 
 
 def run_lint(
     paths: Optional[Sequence[str]] = None,
     config_path: Optional[str] = None,
+    *,
+    use_cache: bool = True,
 ) -> LintReport:
     """CLI-facing wrapper: resolve defaults, load config, lint.
 
     With no *paths* the package source tree is linted and stale
     allowlist entries are an error; with explicit paths the stale check
-    is skipped.
+    is skipped.  The incremental cache lives next to the config file
+    (``.reprolint-cache.json``) and is skipped entirely when no config
+    exists or ``use_cache`` is False.
     """
     explicit = bool(paths)
     targets = (
@@ -235,4 +279,9 @@ def run_lint(
     else:
         found = discover_config()
         config = load_config(found) if found is not None else LintConfig()
-    return lint_paths(targets, config, enforce_stale=not explicit)
+    cache = None
+    if use_cache and config.source is not None:
+        cache = LintCache.load(config.source.parent / CACHE_BASENAME)
+    return lint_paths(
+        targets, config, enforce_stale=not explicit, cache=cache
+    )

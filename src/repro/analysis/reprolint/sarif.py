@@ -1,0 +1,344 @@
+"""SARIF 2.1.0 output for GitHub code scanning.
+
+:func:`to_sarif` converts a :class:`~repro.analysis.reprolint.linter.
+LintReport` into a SARIF ``2.1.0`` log: one run, the ``reprolint``
+driver with full per-rule metadata (from
+:data:`~repro.analysis.reprolint.rules_flow.RULE_DOCS`), one result
+per violation pinned to ``artifactLocation`` + ``region`` so findings
+annotate PR diffs.  Parse errors and stale allowlist entries surface
+as results of two synthetic reporting rules — they fail CI, so they
+must be visible in the same channel.
+
+:func:`validate_sarif` checks a produced log against an embedded,
+trimmed SARIF 2.1.0 schema (the subset of the official schema this
+emitter exercises — required keys, version literal, result/location
+shapes).  It uses ``jsonschema`` when available and degrades to the
+structural checks otherwise, so the validator never adds a hard
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List
+
+from .rules import Violation
+from .rules_flow import RULE_DOCS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .linter import LintReport
+
+__all__ = ["SARIF_VERSION", "SARIF_SCHEMA_URI", "to_sarif", "validate_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Synthetic reporting rules for non-violation findings.
+_STALE_RULE = "stale-allowlist"
+_PARSE_RULE = "parse-error"
+
+#: Trimmed SARIF 2.1.0 schema: the subset of the official OASIS schema
+#: that this emitter's output exercises.  ``additionalProperties`` stays
+#: permissive (real SARIF allows vendor extensions); the *required*
+#: shapes — version literal, run/tool/driver nesting, result and
+#: location structure — match the official schema.
+TRIMMED_SARIF_SCHEMA: Dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "version": {"const": "2.1.0"},
+        "$schema": {"type": "string"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "informationUri": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                },
+                                                "fullDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["ruleId", "level", "message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "level": {
+                                    "enum": [
+                                        "none", "note", "warning", "error"
+                                    ]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                    "properties": {
+                                        "text": {"type": "string"}
+                                    },
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "required": [
+                                                    "artifactLocation"
+                                                ],
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "required": ["uri"],
+                                                        "properties": {
+                                                            "uri": {
+                                                                "type": (
+                                                                    "string"
+                                                                )
+                                                            }
+                                                        },
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": (
+                                                                    "integer"
+                                                                ),
+                                                                "minimum": 1,
+                                                            },
+                                                            "startColumn": {
+                                                                "type": (
+                                                                    "integer"
+                                                                ),
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    },
+                                                },
+                                            }
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def _first_line(text: str) -> str:
+    return text.strip().splitlines()[0]
+
+
+def _driver_rules() -> List[Dict[str, Any]]:
+    rules: List[Dict[str, Any]] = []
+    for rule_id, doc in RULE_DOCS.items():
+        rules.append(
+            {
+                "id": rule_id,
+                "shortDescription": {"text": _first_line(doc)},
+                "fullDescription": {"text": doc},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    rules.append(
+        {
+            "id": _STALE_RULE,
+            "shortDescription": {
+                "text": "Allowlist entry suppressed nothing (stale)"
+            },
+            "fullDescription": {
+                "text": (
+                    "Every reprolint.toml [[allow]] entry must suppress at "
+                    "least one live violation on a full-tree lint; entries "
+                    "that no longer match are dead weight and must be "
+                    "removed with the code change that retired them."
+                )
+            },
+            "defaultConfiguration": {"level": "error"},
+        }
+    )
+    rules.append(
+        {
+            "id": _PARSE_RULE,
+            "shortDescription": {"text": "File failed to parse"},
+            "fullDescription": {
+                "text": "reprolint could not parse this file; nothing in "
+                "it was analyzed."
+            },
+            "defaultConfiguration": {"level": "error"},
+        }
+    )
+    return rules
+
+
+def _violation_result(violation: Violation) -> Dict[str, Any]:
+    return {
+        "ruleId": violation.rule,
+        "level": "error",
+        "message": {
+            "text": f"{violation.message} [{violation.qualname}]"
+        },
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": violation.path,
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": max(1, violation.line),
+                        "startColumn": max(1, violation.col + 1),
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {
+            "reprolintSite/v1": (
+                f"{violation.path}::{violation.qualname}::{violation.rule}"
+            )
+        },
+    }
+
+
+def to_sarif(report: "LintReport") -> Dict[str, Any]:
+    """The SARIF 2.1.0 log dict for *report*."""
+    results = [_violation_result(v) for v in report.violations]
+    for entry in report.stale_entries:
+        results.append(
+            {
+                "ruleId": _STALE_RULE,
+                "level": "error",
+                "message": {
+                    "text": (
+                        f"stale allowlist entry: {entry.rule} at "
+                        f"{entry.site} suppressed nothing (reason was: "
+                        f"{entry.reason})"
+                    )
+                },
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": "reprolint.toml",
+                                "uriBaseId": "%SRCROOT%",
+                            }
+                        }
+                    }
+                ],
+            }
+        )
+    for error in report.parse_errors:
+        # Formatted as "path:line:col: cannot parse: ...".
+        uri = error.split(":", 1)[0]
+        results.append(
+            {
+                "ruleId": _PARSE_RULE,
+                "level": "error",
+                "message": {"text": error},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": uri,
+                                "uriBaseId": "%SRCROOT%",
+                            }
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": (
+                            "docs/static_analysis.md"
+                        ),
+                        "semanticVersion": "2.0.0",
+                        "rules": _driver_rules(),
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
+    }
+
+
+def validate_sarif(log: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` if *log* violates the trimmed 2.1.0 schema."""
+    try:
+        import jsonschema
+    except ImportError:  # pragma: no cover - jsonschema ships in CI
+        _validate_structurally(log)
+        return
+    try:
+        jsonschema.validate(log, TRIMMED_SARIF_SCHEMA)
+    except jsonschema.ValidationError as exc:
+        raise ValueError(f"invalid SARIF output: {exc.message}") from exc
+
+
+def _validate_structurally(log: Dict[str, Any]) -> None:
+    """Dependency-free subset of :func:`validate_sarif`."""
+    if log.get("version") != SARIF_VERSION:
+        raise ValueError("invalid SARIF output: version must be '2.1.0'")
+    runs = log.get("runs")
+    if not isinstance(runs, list) or not runs:
+        raise ValueError("invalid SARIF output: runs must be non-empty")
+    for run in runs:
+        driver = run.get("tool", {}).get("driver", {})
+        if not isinstance(driver.get("name"), str):
+            raise ValueError("invalid SARIF output: missing driver name")
+        if not isinstance(run.get("results"), list):
+            raise ValueError("invalid SARIF output: missing results array")
+        for result in run["results"]:
+            if not isinstance(result.get("ruleId"), str):
+                raise ValueError("invalid SARIF output: result lacks ruleId")
+            if not isinstance(
+                result.get("message", {}).get("text"), str
+            ):
+                raise ValueError(
+                    "invalid SARIF output: result lacks message.text"
+                )

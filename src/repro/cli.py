@@ -45,6 +45,7 @@ code 2, never a traceback.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -189,6 +190,32 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="explicit reprolint.toml (default: auto-discovered from the "
         "working directory or the source checkout root)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=["text", "sarif"],
+        default="text",
+        dest="format_",
+        help="report format: human-readable text (default) or SARIF 2.1.0 "
+        "for GitHub code scanning",
+    )
+    lint.add_argument(
+        "--output",
+        metavar="PATH",
+        help="write the report to PATH instead of stdout (text summary "
+        "still prints to stdout for sarif)",
+    )
+    lint.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the incremental cache (.reprolint-cache.json next "
+        "to the config) and re-analyze every file",
+    )
+    lint.add_argument(
+        "--explain",
+        metavar="RLxxx",
+        help="print the documentation of one rule (what it proves, its "
+        "runtime counterpart, allowlist policy) and exit",
     )
 
     fuzz = sub.add_parser(
@@ -440,11 +467,45 @@ def _cmd_figure(args) -> int:
 
 def _cmd_lint(args) -> int:
     from repro.analysis.reprolint import run_lint
+    from repro.analysis.reprolint.rules_flow import RULE_DOCS
 
-    report = run_lint(paths=args.paths or None, config_path=args.config)
-    for line in report.format_lines():
-        print(line)
-    print(report.summary())
+    if args.explain is not None:
+        rule = args.explain.upper()
+        doc = RULE_DOCS.get(rule)
+        if doc is None:
+            raise ParameterError(
+                f"unknown rule {args.explain!r} "
+                f"(known: {', '.join(RULE_DOCS)})"
+            )
+        print(f"{rule}: {doc}")
+        return 0
+    report = run_lint(
+        paths=args.paths or None,
+        config_path=args.config,
+        use_cache=not args.no_cache,
+    )
+    if args.format_ == "sarif":
+        import json
+
+        from repro.analysis.reprolint.sarif import to_sarif, validate_sarif
+
+        log = to_sarif(report)
+        validate_sarif(log)
+        payload = json.dumps(log, indent=2)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            print(report.summary())
+        else:
+            print(payload)
+        return 0 if report.ok else 1
+    lines = report.format_lines() + [report.summary()]
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+    else:
+        for line in lines:
+            print(line)
     return 0 if report.ok else 1
 
 
@@ -576,6 +637,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: the POSIX-friendly
+        # exit, not a traceback.  Detach stdout so interpreter
+        # shutdown does not raise again while flushing.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -38,6 +38,18 @@ the sanitizer's post-round snapshot diff
 after the combine barrier.  Each combine is reported through
 :meth:`~repro.pram.sanitizer.PramSanitizer.record_combine` so a
 sanitized parallel run shows how many sharded merges it covered.
+
+Machine-checked contracts (``repro lint``, docs/static_analysis.md):
+this module is the primary scope of the interprocedural rule family.
+RL006 proves no worker-count-derived value reaches an allocation
+size, the chunk grid, or a reduction operand (the one sanctioned use,
+``_worker_spans``'s span partitioning, carries a reasoned allowlist
+entry); RL007 demands a disjointness proof for every write issued
+from a parallel task (``[lo:hi]`` span slices, worker-keyed shards,
+or task-local buffers only); RL009 confines shard combines to the two
+sanctioned deterministic merge shapes below.  Editing this file into
+a violation fails lint *and* the w=2/w=4 parity fixtures — the same
+contract, checked statically and at runtime.
 """
 
 from __future__ import annotations

@@ -28,6 +28,12 @@ the algorithm conceptually allocates (``alloc`` kind at run setup);
 reusing real memory across rounds changes how the NumPy execution
 runs, not what the PRAM run costs — the parity contract of
 :mod:`repro.engine.backend`.
+
+Machine-checked contract (``repro lint`` RL006): arena buffer sizes
+(``_buf``/``_zeroed_bool``/``_iota``/``_grown``) are pure functions of
+batch sizes — the worker-count taint analysis proves no value derived
+from ``workers``/``cpu_count`` ever reaches them, here or in the
+chunked subclass.
 """
 
 from __future__ import annotations

@@ -136,6 +136,10 @@ class ExecutionContext:
         reset in ``finally``, so no failure path can leave a stale
         context installed — the bug class the old module-level
         push/pop stacks could not rule out.
+
+        Machine-checked (``repro lint`` RL008): the typestate analysis
+        proves the ``set``/``reset`` pair is balanced on every CFG
+        path out of this method, exceptional paths included.
         """
         token = _CONTEXT.set(self)
         try:
@@ -155,6 +159,10 @@ class ExecutionContext:
         :class:`~repro.runtime.session.Session` that owns the pool
         keeps its own reference and re-offers the arena to the next
         run.
+
+        Machine-checked (``repro lint`` RL008): callers must bind the
+        result and may claim at most once per function — a discarded
+        or double ``acquire_workspace`` call is a lint violation.
         """
         ws = self.workspace
         if ws is not None and self.backend.use_workspace:

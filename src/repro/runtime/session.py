@@ -190,6 +190,11 @@ class Session:
         Caller must hold ``self._lock``.  Returns ``None`` when another
         run already holds it — that run proceeds on a fresh per-run
         arena instead of waiting (compute never blocks on the pool).
+
+        Machine-checked (``repro lint`` RL008): the typestate analysis
+        proves every claim is paired with :meth:`_release_pool` on all
+        CFG paths out of the claiming function, including exceptional
+        ones — release must sit in a ``finally`` that covers the run.
         """
         if self._pool_busy:
             return None

@@ -262,3 +262,69 @@ class TestFlagValidation:
         assert code == 2
         assert err.startswith("error:")
         assert "reason" in err
+
+
+class TestLintFormats:
+    def test_explain_prints_rule_documentation(self, capsys):
+        code, out = run_cli(capsys, "lint", "--explain", "RL008")
+        assert code == 0
+        assert "RL008" in out
+        assert "finally" in out
+
+    def test_explain_is_case_insensitive(self, capsys):
+        code, out = run_cli(capsys, "lint", "--explain", "rl006")
+        assert code == 0
+        assert "worker" in out.lower()
+
+    def test_explain_unknown_rule_exits_two(self, capsys):
+        code = main(["lint", "--explain", "RL999"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert err.startswith("error:")
+        assert "RL999" in err
+
+    def test_sarif_output_validates_against_the_schema(self, capsys):
+        import json
+
+        code, out = run_cli(capsys, "lint", "--format", "sarif")
+        assert code == 0
+        log = json.loads(out[: out.rindex("}") + 1])
+        assert log["version"] == "2.1.0"
+        jsonschema = pytest.importorskip("jsonschema")
+        from repro.analysis.reprolint.sarif import TRIMMED_SARIF_SCHEMA
+
+        jsonschema.validate(log, TRIMMED_SARIF_SCHEMA)
+        driver = log["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "reprolint"
+        rule_ids = {r["id"] for r in driver["rules"]}
+        assert {"RL001", "RL006", "RL007", "RL008", "RL009"} <= rule_ids
+
+    def test_sarif_violations_become_results(self, capsys, tmp_path):
+        import json
+
+        bad = tmp_path / "src" / "repro" / "engine" / "evil.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def f(labels, idx):\n    labels[idx] = 1\n")
+        sarif_path = tmp_path / "out.sarif"
+        code, out = run_cli(
+            capsys,
+            "lint",
+            "--format",
+            "sarif",
+            "--output",
+            str(sarif_path),
+            str(bad),
+        )
+        assert code == 1  # violations still drive the exit code
+        log = json.loads(sarif_path.read_text())
+        results = log["runs"][0]["results"]
+        assert any(r["ruleId"] == "RL001" for r in results)
+        hit = next(r for r in results if r["ruleId"] == "RL001")
+        region = hit["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 2
+        assert "partialFingerprints" in hit
+
+    def test_no_cache_flag_accepted(self, capsys):
+        code, out = run_cli(capsys, "lint", "--no-cache")
+        assert code == 0
+        assert "0 violation(s)" in out
