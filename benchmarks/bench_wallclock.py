@@ -34,7 +34,7 @@ if __package__ in (None, ""):  # `python benchmarks/bench_wallclock.py`
     sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
 from benchmarks.conftest import SCALE, emit
-from repro.analysis.wallclock import run_wallclock_suite, write_json
+from repro.analysis.wallclock import run_wallclock_suite, trace_run, write_json
 
 pytestmark = pytest.mark.wallclock
 
@@ -82,6 +82,11 @@ def test_wallclock_trajectory(wallclock, tmp_path):
     # with the numbers too — a scaling claim is meaningless without them.
     assert reread["meta"]["cpu_count"] == (os.cpu_count() or 1)
     assert reread["meta"]["workers"] >= 1
+    # The timing protocol must ride with the numbers too: how many
+    # repeats the min was taken over and how many discarded warmup
+    # iterations preceded them (see repro.analysis.wallclock.best_of).
+    assert reread["meta"]["repeats"] >= 1
+    assert reread["meta"]["warmup"] >= 1
     assert reread["meta"]["chunk_size"] >= 1
     assert reread["meta"]["context"]["backend"] in ("reference", "fast", "parallel")
     assert reread["meta"]["context"]["sanitize"] is False
@@ -119,6 +124,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--repeats", type=int, default=None)
     parser.add_argument("--out", default="BENCH_wallclock.json")
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "also run one traced end-to-end rMat pass, write the "
+            "Perfetto-loadable trace to PATH, and attach the per-phase "
+            "wall-clock breakdown to the BENCH meta"
+        ),
+    )
     args = parser.parse_args(argv)
 
     scale = args.scale or ("tiny" if args.quick else "small")
@@ -128,6 +143,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
 
     payload = run_wallclock_suite(scale=scale, repeats=repeats)
+    if args.trace:
+        traced = trace_run(scale=scale, graph_name="rMat", path=args.trace)
+        payload["meta"]["trace"] = traced  # type: ignore[index]
+        phases = ", ".join(
+            f"{name} {secs*1e3:.1f} ms"
+            for name, secs in sorted(traced["phase_seconds"].items())  # type: ignore[union-attr]
+        )
+        print(f"traced rMat: {traced['rounds']} rounds — {phases}")
+        print(f"wrote {args.trace}")
     print(_format(payload))
     write_json(payload, args.out)
     print(f"wrote {args.out}")

@@ -32,7 +32,7 @@ __all__ = ["AllowEntry", "LintConfig", "load_config"]
 #: The rule ids the analyzer implements (see docs/static_analysis.md).
 KNOWN_RULES = (
     "RL001", "RL002", "RL003", "RL004", "RL005",
-    "RL006", "RL007", "RL008", "RL009",
+    "RL006", "RL007", "RL008", "RL009", "RL010",
 )
 
 #: The keys an ``[[allow]]`` table may carry.

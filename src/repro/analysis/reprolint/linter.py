@@ -64,17 +64,20 @@ RULE_SCOPES: Dict[str, Tuple[str, ...]] = {
         "src/repro/connectivity/",
     ),
     "RL009": ("src/repro/engine/parallel.py",),
+    "RL010": ("src/repro/obs/",),
 }
 
 #: Carve-outs from RL004's blanket scope: the wall-clock harness and
 #: the experiment/benchmark layers measure real elapsed time by design,
-#: the fuzz loop enforces its ``--time-budget`` stopping condition, and
-#: the session layer's ``execute_profiled`` reports real run time in
-#: its profiles (it *is* the run harness).
+#: the fuzz loop enforces its ``--time-budget`` stopping condition, the
+#: session layer's ``execute_profiled`` reports real run time in its
+#: profiles (it *is* the run harness), and the tracer timestamps spans
+#: with real time by definition (RL010 polices its purity instead).
 RL004_EXEMPT: Tuple[str, ...] = (
     "src/repro/analysis/wallclock.py",
     "src/repro/experiments/",
     "src/repro/fuzz/harness.py",
+    "src/repro/obs/",
     "src/repro/runtime/session.py",
 )
 

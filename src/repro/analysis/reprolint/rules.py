@@ -33,6 +33,13 @@ RL005  No reads of the retired global-singleton accessors
        read from ``repro.runtime.current_context()``.  The deprecated
        shim *definitions* are flagged too, so retiring one forces the
        allowlist entry to be removed with it.
+RL010  Observational purity of the tracing layer (``repro.obs``): code
+       there may never mutate caller-owned state — no subscript or
+       augmented stores into parameters, no attribute stores on them,
+       no mutating ``np.*`` calls or in-place ndarray methods, and no
+       cost-tracker charges.  With the tracer active, a run must be
+       byte-identical to the untraced run; the golden tracing-parity
+       tests check that empirically, this rule pins it structurally.
 """
 
 from __future__ import annotations
@@ -574,6 +581,124 @@ def check_rl005(tree: ast.Module, path: str) -> List[Violation]:
     return violations
 
 
+#: ``np.*`` callables that mutate an existing array in place.
+_RL010_NP_MUTATORS = frozenset(
+    {"copyto", "put", "place", "putmask", "fill_diagonal", "shuffle"}
+)
+
+#: ndarray methods that mutate the receiver in place.
+_RL010_METHOD_MUTATORS = frozenset(
+    {"fill", "sort", "partition", "put", "resize", "itemset"}
+)
+
+
+def _fn_params(fn: ast.FunctionDef) -> Set[str]:
+    args = fn.args
+    names = {
+        a.arg
+        for a in (
+            *args.posonlyargs, *args.args, *args.kwonlyargs,
+            *([args.vararg] if args.vararg else []),
+            *([args.kwarg] if args.kwarg else []),
+        )
+    }
+    return names - {"self", "cls"}
+
+
+def check_rl010(tree: ast.Module, path: str) -> List[Violation]:
+    """Observational purity: the obs layer never mutates what it watches.
+
+    Inside ``repro.obs``, any write whose target is rooted at a function
+    parameter (the run state handed in for observation), any in-place
+    ``np.*`` / ndarray-method mutation, and any cost-tracker charge
+    (``tracker.add``/``tracker.sync``) is a violation.  Mutation of the
+    tracer's *own* state (``self.events``, local dicts) is fine.
+    """
+    violations: List[Violation] = []
+
+    def hit(node: ast.AST, qualname: str, message: str) -> None:
+        violations.append(
+            Violation(
+                rule="RL010",
+                path=path,
+                line=node.lineno,  # type: ignore[attr-defined]
+                col=node.col_offset,  # type: ignore[attr-defined]
+                qualname=qualname,
+                message=message,
+            )
+        )
+
+    for qualname, fn in iter_functions(tree):
+        params = _fn_params(fn)
+        for node in ast.walk(fn):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                for sub in _subscript_targets(target):
+                    root = _root_name(sub.value)
+                    if isinstance(root, ast.Name) and root.id in params:
+                        hit(
+                            sub,
+                            qualname,
+                            f"store into caller-owned {root.id!r}; the "
+                            "observability layer observes, it never writes",
+                        )
+                if isinstance(target, ast.Attribute):
+                    root = _root_name(target)
+                    if isinstance(root, ast.Name) and root.id in params:
+                        hit(
+                            target,
+                            qualname,
+                            f"attribute store on caller-owned {root.id!r} "
+                            "from tracer code",
+                        )
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                func = node.func
+                if (
+                    isinstance(func.value, ast.Name)
+                    and func.value.id in ("np", "numpy")
+                    and func.attr in _RL010_NP_MUTATORS
+                ):
+                    hit(
+                        node,
+                        qualname,
+                        f"in-place np.{func.attr} in tracer code",
+                    )
+                root = _root_name(func.value)
+                if (
+                    func.attr in _RL010_METHOD_MUTATORS
+                    and isinstance(root, ast.Name)
+                    and root.id in params
+                ):
+                    hit(
+                        node,
+                        qualname,
+                        f"in-place .{func.attr}() on caller-owned "
+                        f"{root.id!r} from tracer code",
+                    )
+                if func.attr in ("add", "sync", "end_round"):
+                    base = func.value
+                    is_tracker = (
+                        isinstance(base, ast.Name) and "tracker" in base.id
+                    ) or (
+                        isinstance(base, ast.Attribute)
+                        and base.attr == "tracker"
+                    )
+                    if is_tracker:
+                        hit(
+                            node,
+                            qualname,
+                            "tracer code charges the cost tracker; "
+                            "tracing must not perturb (work, depth)",
+                        )
+    return violations
+
+
 #: rule id -> checker, in report order.
 RULE_CHECKERS = {
     "RL001": check_rl001,
@@ -581,4 +706,5 @@ RULE_CHECKERS = {
     "RL003": check_rl003,
     "RL004": check_rl004,
     "RL005": check_rl005,
+    "RL010": check_rl010,
 }

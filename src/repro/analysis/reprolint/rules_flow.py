@@ -1157,6 +1157,20 @@ RULE_DOCS: Dict[str, str] = {
         "Allowlist policy: a new combiner needs a written determinism\n"
         "proof in its docstring before an allowlist entry is acceptable."
     ),
+    "RL010": (
+        "Observational purity of the tracing layer (repro.obs).\n\n"
+        "Tracer and metrics code observes a run; it may never write\n"
+        "back: no subscript/augmented/attribute stores rooted at a\n"
+        "function parameter (the run state handed in for observation),\n"
+        "no in-place np.* or ndarray-method mutation, no cost-tracker\n"
+        "charges (tracker.add/sync). Timestamps are wall-clock by\n"
+        "design — repro.obs is exempt from RL004's clock ban, and this\n"
+        "rule polices its purity instead.\n\n"
+        "Runtime counterpart: the tracing-determinism parity tests\n"
+        "(tests/test_obs.py) replay golden captures with tracing off\n"
+        "and on and require byte-identical labelings and charges.\n"
+        "Allowlist policy: none expected; fix the tracer instead."
+    ),
 }
 
 

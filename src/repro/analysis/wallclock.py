@@ -47,6 +47,7 @@ from repro.runtime.context import current_context
 
 __all__ = [
     "DEFAULT_GRAPHS",
+    "DEFAULT_WARMUP",
     "DEFAULT_WORKER_SWEEP",
     "best_of",
     "kernel_microbench",
@@ -55,6 +56,7 @@ __all__ = [
     "parallel_kernel_bench",
     "parallel_end_to_end_bench",
     "run_parallel_suite",
+    "trace_run",
     "write_json",
 ]
 
@@ -93,12 +95,24 @@ def _environment_meta() -> Dict[str, object]:
     }
 
 
-def best_of(fn: Callable[[], object], repeats: int) -> float:
+#: Discarded warmup iterations before any timed repeat (see best_of).
+DEFAULT_WARMUP = 1
+
+
+def best_of(fn: Callable[[], object], repeats: int, warmup: int = DEFAULT_WARMUP) -> float:
     """Best (minimum) wall-clock seconds of *repeats* calls of *fn*.
 
     Minimum-of-k is the standard noise filter for single-process
-    benchmarks: every source of interference only ever adds time.
+    benchmarks: every source of interference only ever adds time.  But
+    min-of-k cannot filter what every repeat shares — and it filters
+    *nothing* at ``repeats=1`` (the ``--quick`` CI mode), where the
+    cold first call IS the reported number.  So the first *warmup*
+    calls run untimed and are discarded: they pay the one-time costs
+    (arena allocation, NumPy internal setup, cache warm-in) the
+    steady-state regime the benchmarks compare does not contain.
     """
+    for _ in range(max(0, warmup)):
+        fn()
     best = float("inf")
     for _ in range(max(1, repeats)):
         t0 = time.perf_counter()
@@ -112,18 +126,16 @@ def _timed_backends(
     repeats: int,
     backends: Sequence[str],
 ) -> Dict[str, float]:
-    """Time one kernel under each backend (one warmup call, then best-of).
+    """Time one kernel under each backend (warmup + best-of, per backend).
 
-    The warmup call lets the fast backend's arena reach steady state —
-    the regime the backend optimizes — and equalizes any one-time NumPy
-    costs for the reference side.
+    :func:`best_of`'s discarded warmup lets the fast backend's arena
+    reach steady state — the regime the backend optimizes — and
+    equalizes any one-time NumPy costs for the reference side.
     """
     out: Dict[str, float] = {}
     for name in backends:
         with use_backend(name):
-            fn = make_fn(name)
-            fn()
-            out[name] = best_of(fn, repeats)
+            out[name] = best_of(make_fn(name), repeats)
     return out
 
 
@@ -244,12 +256,13 @@ def run_wallclock_suite(
     meta: Dict[str, object] = {
         "scale": scale,
         "repeats": repeats,
+        "warmup": DEFAULT_WARMUP,
         "beta": beta,
         "seed": seed,
         "backends": list(backends),
         "default_backend": DEFAULT_BACKEND_NAME,
         "algorithm": "decomp-arb-CC",
-        "timer": "best-of wall clock (time.perf_counter)",
+        "timer": "best-of wall clock (time.perf_counter), discarded warmup",
     }
     meta.update(_environment_meta())
     return {
@@ -330,9 +343,9 @@ def parallel_kernel_bench(
                 backend=BACKENDS[backend_name], workers=w
             )
             with ctx.activate():
-                fn = make_fn(backend_name, w)
-                fn()  # warmup: arena + shard pool reach steady state
-                times[label] = best_of(fn, repeats)
+                # best_of's warmup lets the arena + shard pool reach
+                # steady state before timing starts.
+                times[label] = best_of(make_fn(backend_name, w), repeats)
         for w in workers:
             par = times.get(f"parallel@{w}", 0.0)
             times[f"speedup@{w}"] = (
@@ -384,9 +397,7 @@ def parallel_end_to_end_bench(
                 backend=BACKENDS[backend_name], workers=w
             )
             with ctx.activate():
-                fn = make_run(backend_name, w, label)
-                fn()
-                times[label] = best_of(fn, repeats)
+                times[label] = best_of(make_run(backend_name, w, label), repeats)
             if not np.array_equal(labels["fast"], labels[label]):
                 raise AssertionError(
                     f"parallel parity violated on {gname}: fast and "
@@ -434,12 +445,13 @@ def run_parallel_suite(
     meta: Dict[str, object] = {
         "scale": scale,
         "repeats": repeats,
+        "warmup": DEFAULT_WARMUP,
         "beta": beta,
         "seed": seed,
         "baseline": "fast",
         "worker_sweep": list(workers),
         "algorithm": "decomp-arb-CC",
-        "timer": "best-of wall clock (time.perf_counter)",
+        "timer": "best-of wall clock (time.perf_counter), discarded warmup",
     }
     meta.update(_environment_meta())
     return {
@@ -456,6 +468,55 @@ def run_parallel_suite(
             seed=seed,
         ),
     }
+
+
+def trace_run(
+    scale: str = "small",
+    graph_name: str = "rMat",
+    beta: float = 0.2,
+    seed: int = 1,
+    path: Optional[str] = None,
+) -> Dict[str, object]:
+    """One traced ``decomp-arb-CC`` run: per-phase wall seconds + trace file.
+
+    Runs a single profiled end-to-end connectivity run with an active
+    :class:`repro.obs.Tracer`, optionally writes the Perfetto-loadable
+    trace document to *path*, and returns ``{"phase_seconds": {...},
+    "rounds": int, "events": int}`` — the wall-clock-per-phase
+    breakdown ``benchmarks/bench_wallclock.py --trace`` attaches to the
+    BENCH meta, so the archived artifact says *where* the end-to-end
+    seconds went, not just how many there were.
+    """
+    from repro.obs import Metrics, Tracer, phase_totals, write_trace
+    from repro.runtime.session import execute_profiled
+
+    graph = build_graph(graph_name, scale)
+    tracer, metrics = Tracer(), Metrics()
+    with current_context().child(tracer=tracer, metrics=metrics).activate():
+        prof = execute_profiled(
+            "decomp-arb-CC", graph, graph_name=graph_name, beta=beta, seed=seed
+        )
+    summary: Dict[str, object] = {
+        "graph": graph_name,
+        "scale": scale,
+        "phase_seconds": phase_totals(tracer),
+        "rounds": len(tracer.spans("round")),
+        "events": len(tracer.events),
+        "wall_seconds": prof.wall_seconds,
+    }
+    if path is not None:
+        meta = dict(summary)
+        meta.update(
+            {
+                "algorithm": "decomp-arb-CC",
+                "beta": beta,
+                "seed": seed,
+                "work": prof.tracker.total_work(),
+                "depth": prof.tracker.total_depth(),
+            }
+        )
+        write_trace(path, tracer, metrics, meta=meta)
+    return summary
 
 
 def write_json(payload: Dict[str, object], path: str) -> None:

@@ -25,6 +25,10 @@ Gives shell access to the whole reproduction:
     minimal JSON repros (see docs/robustness.md).
 ``replay``
     Replay one fuzz-corpus case file against the full oracle.
+``trace``
+    Run one algorithm with the tracer armed and write a Chrome
+    ``trace_event`` JSON (loadable in Perfetto / ``chrome://tracing``;
+    see docs/observability.md).
 
 All commands accept ``--scale {tiny,small,medium}`` (default small),
 ``--backend`` naming any registered execution backend (default fast),
@@ -33,7 +37,16 @@ backend) — the execution backend changes wall-clock speed only, never
 results or simulated costs (see docs/performance.md).  The global
 ``--sanitize`` flag arms the runtime PRAM race sanitizer around
 whatever command runs (optimized backends only; a detected race aborts
-with exit code 2).
+with exit code 2).  The global ``--trace PATH`` arms the
+:mod:`repro.obs` tracer/metrics around whatever command runs and
+writes the combined trace document to PATH on exit.
+
+``run``, ``decompose`` and ``forest`` take ``--format {text,json}``
+(and ``--output PATH``) for machine-readable results; JSON payloads
+are scrubbed of NumPy scalar keys/values at the boundary.  Piping any
+command into ``head`` exits 1 cleanly (never a ``BrokenPipeError``
+traceback) — the dispatcher owns that contract for stdout *and*
+stderr.
 
 ``run`` and ``table2`` additionally take the resilience options
 (``--retries``, ``--inject-fault``; ``table2`` also ``--checkpoint`` /
@@ -115,6 +128,14 @@ def build_parser() -> argparse.ArgumentParser:
         f"{', '.join(sorted(n for n in BACKENDS if n != 'reference'))}; "
         "see docs/static_analysis.md)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="arm the repro.obs tracer and metrics registry around the "
+        "command and write a Chrome trace_event JSON (with the metrics "
+        "snapshot riding along) to PATH on exit — tracing never changes "
+        "results or simulated costs (see docs/observability.md)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list registered graphs and algorithms")
@@ -131,6 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="thread counts to report (e.g. 1 8 40h)",
     )
     run.add_argument("--no-verify", action="store_true")
+    _add_output_options(run)
     _add_resilience_options(run)
 
     dec = sub.add_parser("decompose", help="low-diameter decomposition quality")
@@ -142,11 +164,31 @@ def build_parser() -> argparse.ArgumentParser:
         default="arb",
     )
     dec.add_argument("--seed", type=int, default=1)
+    _add_output_options(dec)
 
     forest = sub.add_parser("forest", help="spanning forest via decomposition")
     forest.add_argument("graph", choices=sorted(GRAPHS))
     forest.add_argument("--beta", type=float, default=0.2)
     forest.add_argument("--seed", type=int, default=1)
+    _add_output_options(forest)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one algorithm with the tracer armed; write a Chrome "
+        "trace_event JSON (Perfetto-loadable)",
+    )
+    trace.add_argument("graph", choices=sorted(GRAPHS))
+    trace.add_argument(
+        "--algorithm", choices=sorted(ALGORITHMS), default="decomp-arb-CC"
+    )
+    trace.add_argument("--beta", type=float, default=0.2)
+    trace.add_argument("--seed", type=int, default=1)
+    trace.add_argument(
+        "--output",
+        metavar="PATH",
+        default="run.trace.json",
+        help="trace document destination (default: run.trace.json)",
+    )
 
     sub.add_parser("table1", help="regenerate Table 1")
     t2 = sub.add_parser("table2", help="regenerate Table 2")
@@ -265,6 +307,41 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_output_options(sub: argparse.ArgumentParser) -> None:
+    """The ``--format``/``--output`` pair shared by the result commands."""
+    sub.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        dest="format_",
+        help="result format: human-readable text (default) or a JSON "
+        "document (NumPy scalars coerced at the boundary)",
+    )
+    sub.add_argument(
+        "--output",
+        metavar="PATH",
+        help="write the result to PATH instead of stdout",
+    )
+
+
+def _emit(args, payload: dict, text_lines: List[str]) -> None:
+    """Write the command result in the requested format and destination."""
+    if getattr(args, "format_", "text") == "json":
+        import json
+
+        from repro.experiments.export import to_jsonable
+
+        rendered = json.dumps(to_jsonable(payload), indent=2, sort_keys=True)
+    else:
+        rendered = "\n".join(text_lines)
+    output = getattr(args, "output", None)
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+    else:
+        print(rendered)
+
+
 def _add_resilience_options(sub: argparse.ArgumentParser) -> None:
     """The flags shared by the resilient commands (run, table2)."""
     sub.add_argument(
@@ -312,8 +389,8 @@ def _cmd_list(args) -> int:
 
 def _cmd_run(args) -> int:
     graph = build_graph(args.graph, args.scale)
-    print(f"{args.graph} [{args.scale}]: {graph}")
     resilient = args.retries is not None or args.inject_fault is not None
+    outcome = None
     if resilient:
         runner = _resilient_runner(args, verify=not args.no_verify)
         outcome = runner.run_cell(
@@ -332,24 +409,44 @@ def _cmd_run(args) -> int:
             verify=not args.no_verify, **kwargs,
         )
     res = prof.result
-    print(f"components : {res.num_components}")
-    print(f"iterations : {res.iterations}")
+    lines = [
+        f"{args.graph} [{args.scale}]: {graph}",
+        f"components : {res.num_components}",
+        f"iterations : {res.iterations}",
+    ]
     if res.edges_per_iteration:
-        print(f"edges/iter : {res.edges_per_iteration}")
-    print(f"wall clock : {prof.wall_seconds:.3f}s (single-core NumPy)")
+        lines.append(f"edges/iter : {res.edges_per_iteration}")
+    lines.append(f"wall clock : {prof.wall_seconds:.3f}s (single-core NumPy)")
     for spec in args.threads:
-        print(f"T({spec:>4})    : {prof.seconds_at(spec):.6f}s simulated")
+        lines.append(f"T({spec:>4})    : {prof.seconds_at(spec):.6f}s simulated")
     if not args.no_verify:
-        print("verified   : OK")
-    if resilient:
-        print(f"attempts   : {outcome.attempts}")
+        lines.append("verified   : OK")
+    payload: dict = {
+        "graph": args.graph,
+        "scale": args.scale,
+        "algorithm": args.algorithm,
+        "components": res.num_components,
+        "iterations": res.iterations,
+        "edges_per_iteration": list(res.edges_per_iteration or []),
+        "wall_seconds": prof.wall_seconds,
+        "simulated_seconds": {spec: prof.seconds_at(spec) for spec in args.threads},
+        "work": prof.tracker.total_work(),
+        "depth": prof.tracker.total_depth(),
+        "verified": not args.no_verify,
+    }
+    if outcome is not None:
+        lines.append(f"attempts   : {outcome.attempts}")
         if outcome.degraded:
-            print(f"degraded   : {outcome.requested} -> {outcome.algorithm}")
+            lines.append(f"degraded   : {outcome.requested} -> {outcome.algorithm}")
         for record in outcome.failures:
-            print(
+            lines.append(
                 f"failure    : attempt {record.attempt} of {record.algorithm} "
                 f"({record.error_type}: {record.message}) -> {record.action}"
             )
+        payload["attempts"] = outcome.attempts
+        payload["algorithm_used"] = outcome.algorithm
+        payload["failures"] = [r.to_dict() for r in outcome.failures]
+    _emit(args, payload, lines)
     return 0
 
 
@@ -360,17 +457,31 @@ def _cmd_decompose(args) -> int:
     ldd = low_diameter_decomposition(
         graph, beta=args.beta, variant=args.variant, seed=args.seed
     )
-    print(f"{args.graph} [{args.scale}]: {graph}")
-    print(f"partitions          : {ldd.num_partitions}")
-    print(f"largest partitions  : {ldd.partition_sizes()[:5].tolist()}")
-    print(
+    lines = [
+        f"{args.graph} [{args.scale}]: {graph}",
+        f"partitions          : {ldd.num_partitions}",
+        f"largest partitions  : {ldd.partition_sizes()[:5].tolist()}",
         f"inter-edge fraction : {ldd.inter_edge_fraction:.4f} "
-        f"(expectation bound {ldd.fraction_bound:.2f})"
-    )
-    print(
+        f"(expectation bound {ldd.fraction_bound:.2f})",
         f"max radius          : {ldd.max_radius} "
-        f"(O(log n / beta) ~ {ldd.radius_bound:.1f})"
-    )
+        f"(O(log n / beta) ~ {ldd.radius_bound:.1f})",
+    ]
+    # The payload deliberately carries the raw NumPy scalars/arrays the
+    # decomposition reports; _emit's to_jsonable owns the coercion.
+    payload = {
+        "graph": args.graph,
+        "scale": args.scale,
+        "variant": args.variant,
+        "beta": args.beta,
+        "seed": args.seed,
+        "partitions": ldd.num_partitions,
+        "largest_partitions": ldd.partition_sizes()[:5],
+        "inter_edge_fraction": ldd.inter_edge_fraction,
+        "fraction_bound": ldd.fraction_bound,
+        "max_radius": ldd.max_radius,
+        "radius_bound": ldd.radius_bound,
+    }
+    _emit(args, payload, lines)
     return 0
 
 
@@ -380,9 +491,60 @@ def _cmd_forest(args) -> int:
     graph = build_graph(args.graph, args.scale)
     src, dst = decomp_spanning_forest(graph, beta=args.beta, seed=args.seed)
     verify_spanning_forest(graph, src, dst)
+    lines = [
+        f"{args.graph} [{args.scale}]: {graph}",
+        f"forest edges : {src.size} (= n - #components)",
+        "verified     : spans the graph, acyclic, edges are real",
+    ]
+    payload = {
+        "graph": args.graph,
+        "scale": args.scale,
+        "beta": args.beta,
+        "seed": args.seed,
+        "forest_edges": src.size,
+        "components": graph.num_vertices - int(src.size),
+        "verified": True,
+    }
+    _emit(args, payload, lines)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import Metrics, Tracer, write_trace
+    from repro.runtime.context import current_context
+    from repro.runtime.session import execute_profiled
+
+    graph = build_graph(args.graph, args.scale)
+    tracer, metrics = Tracer(), Metrics()
+    kwargs = (
+        {"beta": args.beta, "seed": args.seed}
+        if args.algorithm.startswith("decomp-")
+        else {}
+    )
+    with current_context().child(tracer=tracer, metrics=metrics).activate():
+        prof = execute_profiled(
+            args.algorithm, graph, graph_name=args.graph, **kwargs
+        )
+    meta = {
+        "graph": args.graph,
+        "scale": args.scale,
+        "algorithm": args.algorithm,
+        "backend": args.backend,
+        "workers": args.workers,
+        "seed": args.seed,
+        "work": prof.tracker.total_work(),
+        "depth": prof.tracker.total_depth(),
+        "wall_seconds": prof.wall_seconds,
+        "phase_work": prof.tracker.work_by_phase(),
+        "phase_depth": prof.tracker.depth_by_phase(),
+    }
+    write_trace(args.output, tracer, metrics, meta=meta)
     print(f"{args.graph} [{args.scale}]: {graph}")
-    print(f"forest edges : {src.size} (= n - #components)")
-    print("verified     : spans the graph, acyclic, edges are real")
+    print(f"algorithm  : {args.algorithm}")
+    print(f"components : {prof.result.num_components}")
+    print(f"rounds     : {len(tracer.spans('round'))}")
+    print(f"events     : {len(tracer.events)}")
+    print(f"trace      : {args.output}")
     return 0
 
 
@@ -586,7 +748,93 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "fuzz": _cmd_fuzz,
     "replay": _cmd_replay,
+    "trace": _cmd_trace,
 }
+
+
+def _silence_broken_pipe() -> int:
+    """Detach stdout AND stderr; the POSIX-friendly broken-pipe exit.
+
+    Without the ``dup2`` redirects, whatever is still sitting in the
+    stream buffers raises a *second* ``BrokenPipeError`` during
+    interpreter-shutdown flush — CPython prints ``Exception ignored``
+    and exits 120 instead of our 1.  Redirecting both file descriptors
+    to ``/dev/null`` makes the shutdown flush succeed harmlessly.
+    """
+    devnull = os.open(os.devnull, os.O_WRONLY)
+    try:
+        for stream in (sys.stdout, sys.stderr):
+            try:
+                os.dup2(devnull, stream.fileno())
+            except (OSError, ValueError):
+                pass  # stream already closed or not a real fd
+    finally:
+        os.close(devnull)
+    return 1
+
+
+def _dispatch(args) -> int:
+    """Run one parsed command inside the command-wide execution context."""
+    if args.sanitize and args.backend == "reference":
+        sanitizable = sorted(n for n in BACKENDS if n != "reference")
+        raise ParameterError(
+            "--sanitize validates the optimized backends "
+            f"({', '.join(sanitizable)}) against the reference "
+            "schedule; it cannot be combined with --backend "
+            "reference (use the library API "
+            "repro.pram.sanitizing() to sanitize the reference "
+            "backend directly)"
+        )
+    if args.workers < 1:
+        raise ParameterError(
+            f"--workers must be >= 1, got {args.workers}"
+        )
+    # One execution context for the whole command: the --backend,
+    # --workers, --sanitize and --trace flags become context fields,
+    # and every run the command performs derives its child context
+    # from this one.
+    from repro.runtime.context import current_context
+
+    overrides: dict = {
+        "backend": resolve_backend(args.backend),
+        "workers": args.workers,
+    }
+    sanitizer = None
+    if args.sanitize:
+        from repro.pram.sanitizer import PramSanitizer
+
+        sanitizer = PramSanitizer(halt_on_race=True)
+        overrides["sanitizer"] = sanitizer
+    tracer = metrics = None
+    if args.trace:
+        from repro.obs import Metrics, Tracer
+
+        tracer, metrics = Tracer(), Metrics()
+        overrides["tracer"] = tracer
+        overrides["metrics"] = metrics
+    with current_context().child(**overrides).activate():
+        code = _COMMANDS[args.command](args)
+    if tracer is not None:
+        from repro.obs import write_trace
+
+        write_trace(
+            args.trace,
+            tracer,
+            metrics,
+            meta={
+                "command": args.command,
+                "scale": args.scale,
+                "backend": args.backend,
+                "workers": args.workers,
+            },
+        )
+        print(
+            f"trace      : {len(tracer.events)} events -> {args.trace}",
+            file=sys.stderr,
+        )
+    if sanitizer is not None:
+        print(f"sanitizer  : {sanitizer.summary()}", file=sys.stderr)
+    return code
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -595,55 +843,32 @@ def main(argv: Optional[List[str]] = None) -> int:
     Domain failures (:class:`~repro.errors.ReproError`) print a
     one-line ``error: ...`` to stderr and exit 2 — the shell-facing
     contract for scripted sweeps; tracebacks are reserved for actual
-    bugs.
+    bugs.  A downstream reader closing the pipe (``repro ... | head``)
+    exits 1 — never a traceback — whether the broken pipe surfaces on
+    stdout or stderr, mid-command or at the final flush.  This
+    dispatcher owns both contracts for every subcommand.
     """
     args = build_parser().parse_args(argv)
     try:
-        if args.sanitize and args.backend == "reference":
-            sanitizable = sorted(n for n in BACKENDS if n != "reference")
-            raise ParameterError(
-                "--sanitize validates the optimized backends "
-                f"({', '.join(sanitizable)}) against the reference "
-                "schedule; it cannot be combined with --backend "
-                "reference (use the library API "
-                "repro.pram.sanitizing() to sanitize the reference "
-                "backend directly)"
-            )
-        if args.workers < 1:
-            raise ParameterError(
-                f"--workers must be >= 1, got {args.workers}"
-            )
-        # One execution context for the whole command: the --backend,
-        # --workers and --sanitize flags become context fields, and
-        # every run the command performs derives its child context
-        # from this one.
-        from repro.runtime.context import current_context
-
-        overrides: dict = {
-            "backend": resolve_backend(args.backend),
-            "workers": args.workers,
-        }
-        sanitizer = None
-        if args.sanitize:
-            from repro.pram.sanitizer import PramSanitizer
-
-            sanitizer = PramSanitizer(halt_on_race=True)
-            overrides["sanitizer"] = sanitizer
-        with current_context().child(**overrides).activate():
-            code = _COMMANDS[args.command](args)
-        if sanitizer is not None:
-            print(f"sanitizer  : {sanitizer.summary()}", file=sys.stderr)
+        code = _dispatch(args)
+        # Flush inside the handler's scope: with stdout piped to a
+        # closed reader, buffered output would otherwise only error
+        # during interpreter shutdown (exit 120), past this handler.
+        sys.stdout.flush()
+        sys.stderr.flush()
         return code
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        try:
+            print(f"error: {exc}", file=sys.stderr)
+            sys.stderr.flush()
+        except BrokenPipeError:
+            # An exception raised inside an except block would NOT be
+            # caught by the sibling handler below, so the stderr write
+            # needs its own guard.
+            return _silence_broken_pipe()
         return 2
     except BrokenPipeError:
-        # Downstream pager/head closed the pipe: the POSIX-friendly
-        # exit, not a traceback.  Detach stdout so interpreter
-        # shutdown does not raise again while flushing.
-        devnull = os.open(os.devnull, os.O_WRONLY)
-        os.dup2(devnull, sys.stdout.fileno())
-        return 1
+        return _silence_broken_pipe()
 
 
 if __name__ == "__main__":  # pragma: no cover

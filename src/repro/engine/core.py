@@ -180,12 +180,21 @@ class TraversalEngine:
         if self.tiebreak is not None:
             self.tiebreak.setup(state)
         next_frontier = state.initial_frontier()
-        sanitizer = current_context().sanitizer
+        ctx = current_context()
+        sanitizer, tracer, tracker = ctx.sanitizer, ctx.tracer, ctx.tracker
         if sanitizer is not None:
             sanitizer.open_run(state.shared_arrays())
         try:
             while True:
                 claimed = int(next_frontier.size)
+                # Tracing is observational: the span and the tracker
+                # snapshots exist only when a tracer is active, and
+                # nothing below reads them back into the computation.
+                span = tracer.span("round", "round") if tracer.enabled else None
+                if span is not None:
+                    span.set(round=state.round, frontier=claimed)
+                    work0 = tracker.total_work()
+                    depth0 = tracker.total_depth()
                 # The round window opens before begin_round so that the
                 # seeding writes — and anything a fault plan injects at
                 # the round boundary — fall inside the shadow check.
@@ -195,14 +204,30 @@ class TraversalEngine:
                 if state.done:
                     if sanitizer is not None:
                         sanitizer.close_round()
+                    if span is not None:
+                        span.set(
+                            done=True,
+                            work=tracker.total_work() - work0,
+                            depth=tracker.total_depth() - depth0,
+                        )
+                        span.close()
                     break
-                if direction.go_dense(self, state, claimed):
+                dense = direction.go_dense(self, state, claimed)
+                if dense:
                     state.note_dense_round()
                     next_frontier = state.pull_round(self)
                 else:
                     next_frontier = state.push_round(self)
                 if sanitizer is not None:
                     sanitizer.close_round()
+                if span is not None:
+                    span.set(
+                        dense=dense,
+                        next_frontier=int(next_frontier.size),
+                        work=tracker.total_work() - work0,
+                        depth=tracker.total_depth() - depth0,
+                    )
+                    span.close()
                 state.round += 1
         finally:
             if sanitizer is not None:

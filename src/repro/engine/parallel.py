@@ -179,9 +179,21 @@ class ParallelWorkspace(Workspace):
         if len(tasks) == 1:
             tasks[0]()
             return
+        from repro.runtime.context import current_context
+
+        ctx = current_context()
+        ctx.metrics.incr("parallel.batches")
+        ctx.metrics.observe("parallel.batch.tasks", len(tasks))
+        span = (
+            ctx.tracer.span("chunk-batch", "parallel", tasks=len(tasks))
+            if ctx.tracer.enabled
+            else None
+        )
         futures = [get_pool(self.workers).submit(t) for t in tasks]
         for future in futures:
             future.result()
+        if span is not None:
+            span.close()
 
     def _foreach_span(
         self,
@@ -228,12 +240,14 @@ class ParallelWorkspace(Workspace):
         return base + sum(int(b.nbytes) for b in self._shard_buffers.values())
 
     def _note_combine(self, kind: str, shards: int) -> None:
-        """Report one sequential shard merge to the armed sanitizer."""
+        """Report one sequential shard merge to sanitizer and metrics."""
         from repro.runtime.context import current_context
 
-        sanitizer = current_context().sanitizer
-        if sanitizer is not None:
-            sanitizer.record_combine(kind, shards)
+        ctx = current_context()
+        if ctx.sanitizer is not None:
+            ctx.sanitizer.record_combine(kind, shards)
+        ctx.metrics.incr(f"parallel.combine.{kind}")
+        ctx.metrics.observe("parallel.combine.shards", shards)
 
     # -- chunked data-parallel vocabulary ----------------------------------
     #

@@ -14,6 +14,7 @@ from repro.experiments.export import (
     export_resilient_table2,
     export_series_csv,
     export_table2_csv,
+    to_jsonable,
 )
 from repro.experiments.figures import (
     ascii_series,
@@ -66,6 +67,7 @@ __all__ = [
     "export_resilient_table2",
     "export_series_csv",
     "export_table2_csv",
+    "to_jsonable",
     "fallback_chain",
     "clear_fig2_cache",
     "fig2_thread_sweep",

@@ -14,31 +14,59 @@ import os
 from pathlib import Path
 from typing import Any, Dict, Mapping, Union
 
+import numpy as np
+
 __all__ = [
     "export_json",
     "export_table2_csv",
     "export_series_csv",
     "export_resilient_table2",
+    "to_jsonable",
 ]
 
 PathLike = Union[str, os.PathLike]
 
 
+def to_jsonable(obj: Any) -> Any:
+    """Recursively coerce an artifact structure to json.dump-safe types.
+
+    Two coercions happen at this boundary — nowhere else:
+
+    * mapping keys become strings (JSON requirement; beta values and
+      edge counts round-trip via ``float()``/``int()`` on load);
+    * NumPy scalars become native Python numbers.  ``np.float64``
+      happens to subclass ``float`` and serializes, but ``np.int64``
+      does not subclass ``int`` — a single stray ``np.int64`` *value*
+      raises ``TypeError: Object of type int64 is not JSON
+      serializable`` and a stray *key* raises ``TypeError: keys must
+      be str...``, so both sides are scrubbed here.  Arrays become
+      lists.
+    """
+    if isinstance(obj, Mapping):
+        return {_json_key(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(v) for v in obj]
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return to_jsonable(obj.tolist())
+    return obj
+
+
+def _json_key(key: Any) -> str:
+    if isinstance(key, np.generic):
+        key = key.item()
+    return str(key)
+
+
 def export_json(data: Any, path: PathLike) -> None:
     """Write any artifact structure as pretty-printed JSON.
 
-    Dict keys are coerced to strings (JSON requirement) — beta values
-    and edge counts round-trip via ``float()``/``int()`` on load.
+    The structure is scrubbed through :func:`to_jsonable` first, so
+    NumPy scalar keys and values coming out of the experiment builders
+    cannot crash the dump.
     """
-
-    def _keyfix(obj: Any) -> Any:
-        if isinstance(obj, Mapping):
-            return {str(k): _keyfix(v) for k, v in obj.items()}
-        if isinstance(obj, (list, tuple)):
-            return [_keyfix(v) for v in obj]
-        return obj
-
-    Path(path).write_text(json.dumps(_keyfix(data), indent=2, sort_keys=True))
+    Path(path).write_text(json.dumps(to_jsonable(data), indent=2, sort_keys=True))
 
 
 def export_table2_csv(

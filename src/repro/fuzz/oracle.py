@@ -161,6 +161,10 @@ def run_case(case: FuzzCase, planted: Optional[str] = None) -> CaseOutcome:
     from :mod:`repro.fuzz.planted` applied to matching algorithms —
     the self-test hook proving the pipeline detects what it should.
     """
+    from repro.runtime.context import current_context
+
+    metrics = current_context().metrics
+    metrics.incr("fuzz.cases")
     outcome = CaseOutcome(case=case)
     bug_name = planted or case.config.planted
     bug = get_planted_bug(bug_name) if bug_name else None
@@ -212,6 +216,7 @@ def run_case(case: FuzzCase, planted: Optional[str] = None) -> CaseOutcome:
         names = list(runs)
         base_labels, base_work, base_depth = runs[names[0]]
         for other in names[1:]:
+            metrics.incr("fuzz.comparisons")
             labels, work, depth = runs[other]
             if not np.array_equal(base_labels, labels):
                 diff = int(np.count_nonzero(base_labels != labels))

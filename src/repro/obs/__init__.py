@@ -1,0 +1,33 @@
+"""Observability layer: structured tracing and metrics for runs.
+
+A stdlib-only leaf package (no NumPy, no imports from other ``repro``
+subpackages except nothing at all) so :mod:`repro.runtime.context` can
+depend on it unconditionally.  See ``docs/observability.md`` for the
+span model, the metrics catalog and the Perfetto workflow.
+"""
+
+from repro.obs.export import (
+    jsonable,
+    phase_totals,
+    trace_document,
+    validate_trace,
+    write_trace,
+)
+from repro.obs.metrics import Metrics, NULL_METRICS, NullMetrics
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, SpanHandle, Tracer
+
+__all__ = [
+    "Metrics",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetrics",
+    "NullTracer",
+    "Span",
+    "SpanHandle",
+    "Tracer",
+    "jsonable",
+    "phase_totals",
+    "trace_document",
+    "validate_trace",
+    "write_trace",
+]

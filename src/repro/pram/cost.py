@@ -37,16 +37,31 @@ from __future__ import annotations
 
 import contextlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Protocol, Tuple
 
 __all__ = [
     "CostKind",
     "CostTracker",
     "KINDS",
+    "PhaseObserver",
     "SEQUENTIAL_KINDS",
     "current_tracker",
     "tracking",
 ]
+
+
+class PhaseObserver(Protocol):
+    """Anything that wants to see phase windows open and close.
+
+    Structurally matched by :class:`repro.obs.tracer.NullTracer` (and
+    thus by the active tracer) without this module importing the
+    observability layer.  Observers are notified *outside* the cost
+    accounting: they may record but never charge.
+    """
+
+    def phase_begin(self, label: str) -> None: ...
+
+    def phase_end(self, label: str) -> None: ...
 
 #: Recognised operation kinds. ``seq`` marks inherently sequential code
 #: (e.g. the serial union-find baseline) whose work cannot be divided
@@ -101,6 +116,9 @@ class CostTracker:
     _phase_stack: List[str] = field(default_factory=list)
     #: Number of sync points charged; exposed for tests and diagnostics.
     sync_count: int = 0
+    #: Optional :class:`PhaseObserver` (the run's tracer) notified when
+    #: phase windows open/close.  Observational only — never charged.
+    observer: Optional[PhaseObserver] = None
 
     # -- phase management -------------------------------------------------
 
@@ -113,10 +131,14 @@ class CostTracker:
     def phase(self, label: str) -> Iterator[None]:
         """Attribute costs recorded inside the ``with`` body to *label*."""
         self._phase_stack.append(label)
+        if self.observer is not None:
+            self.observer.phase_begin(label)
         try:
             yield
         finally:
             self._phase_stack.pop()
+            if self.observer is not None:
+                self.observer.phase_end(label)
 
     # -- recording --------------------------------------------------------
 

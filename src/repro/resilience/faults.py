@@ -278,6 +278,9 @@ class FaultPlan:
         self.fired.append(
             {"kind": kind, "run": self.run_index, "round": round_index, **detail}
         )
+        from repro.runtime.context import current_context
+
+        current_context().metrics.incr(f"faults.{kind}")
 
     # -- hooks (called from production code) -------------------------------
 

@@ -161,8 +161,10 @@ class ResilientRunner:
         Raises :class:`ResilienceExhaustedError` when the requested
         algorithm *and* every fallback exhaust their attempts.
         """
+        from repro.runtime.context import current_context
         from repro.runtime.session import execute_profiled
 
+        metrics = current_context().metrics
         chain = [algorithm, *self.fallbacks.get(algorithm, [])]
         failures: List[FailureRecord] = []
         attempts = 0
@@ -170,6 +172,7 @@ class ResilientRunner:
         for chain_pos, algo in enumerate(chain):
             for attempt in self.retry.attempts():
                 attempts += 1
+                metrics.incr("resilience.attempts")
                 attempt_seed = self.retry.seed_for(seed, attempt)
                 backoff += self.retry.backoff_cost(attempt)
                 try:
@@ -212,6 +215,7 @@ class ResilientRunner:
                     )
                     failures.append(record)
                     self.failure_log.append(record)
+                    metrics.incr(f"resilience.{record.action}")
                     continue
                 if backoff:
                     # The retries' penalty lands in the winner's profile
@@ -219,6 +223,7 @@ class ResilientRunner:
                     with prof.tracker.phase("resilience"):
                         prof.tracker.add("seq", work=backoff, depth=1.0)
                 self.cells_computed += 1
+                metrics.incr("resilience.cells")
                 return CellOutcome(
                     profile=prof,
                     requested=algorithm,
@@ -253,7 +258,9 @@ class ResilientRunner:
         ``failures`` is the structured failure log.
         """
         from repro.experiments.registry import TABLE2_ALGORITHM_ORDER, build_suite
+        from repro.runtime.context import current_context
 
+        metrics = current_context().metrics
         graphs = graphs if graphs is not None else build_suite(scale)
         algorithms = list(algorithms) if algorithms else TABLE2_ALGORITHM_ORDER
         table: Dict[str, Dict[str, dict]] = {}
@@ -267,6 +274,7 @@ class ResilientRunner:
             for gname, graph in graphs.items():
                 if self.checkpoint is not None and self.checkpoint.has(algo, gname):
                     cell = dict(self.checkpoint.get(algo, gname))
+                    metrics.incr("resilience.checkpoint.hit")
                 else:
                     outcome = self.run_cell(
                         algo, graph, graph_name=gname, beta=beta, seed=seed
@@ -283,6 +291,7 @@ class ResilientRunner:
                     }
                     if self.checkpoint is not None:
                         self.checkpoint.record(algo, gname, cell)
+                        metrics.incr("resilience.checkpoint.record")
                 table[algo][gname] = cell
                 attempts[algo][gname] = int(cell.get("attempts", 1))
                 resolved[algo][gname] = str(cell.get("algorithm", algo))

@@ -42,6 +42,8 @@ from typing import TYPE_CHECKING, Iterator, Optional, Set
 
 import numpy as np
 
+from repro.obs.metrics import NULL_METRICS, NullMetrics
+from repro.obs.tracer import NULL_TRACER, NullTracer
 from repro.pram.cost import _NULL, CostTracker
 
 if TYPE_CHECKING:
@@ -97,6 +99,13 @@ class ExecutionContext:
         The context's seed and the generator derived from it; a
         :class:`~repro.runtime.session.Session` threads its seed here
         so host-side randomness is reproducible per context.
+    tracer:
+        The :mod:`repro.obs` span recorder.  Defaults to the shared
+        no-op :data:`~repro.obs.tracer.NULL_TRACER`; instrumented code
+        guards any bookkeeping behind ``tracer.enabled``.
+    metrics:
+        The :mod:`repro.obs` counter/histogram registry; defaults to
+        the no-op :data:`~repro.obs.metrics.NULL_METRICS`.
     """
 
     tracker: CostTracker = field(default_factory=lambda: _NULL)
@@ -107,6 +116,8 @@ class ExecutionContext:
     workers: int = 1
     seed: int = 0
     rng: Optional[np.random.Generator] = None
+    tracer: NullTracer = field(default_factory=lambda: NULL_TRACER)
+    metrics: NullMetrics = field(default_factory=lambda: NULL_METRICS)
 
     def __post_init__(self) -> None:
         self.workers = max(1, int(self.workers))

@@ -90,13 +90,39 @@ def execute_profiled(
     if workspace is not None:
         overrides["workspace"] = workspace
     ctx = current_context().child(**overrides)
+    tracer = ctx.tracer
+    span = tracer.span("run", "run") if tracer.enabled else None
+    if span is not None:
+        span.set(
+            algorithm=algorithm,
+            graph=graph_name,
+            backend=ctx.backend.name,
+            workers=ctx.workers,
+            faulted=fault_plan is not None,
+        )
+        # Phase windows recorded by the tracker flow to the tracer as
+        # B/E events for the duration of this run; the previous
+        # observer (normally None) is restored in the finally below so
+        # a caller-supplied tracker is handed back unchanged.
+        prev_observer = ctx.tracker.observer
+        ctx.tracker.observer = tracer
+    ctx.metrics.incr("runtime.runs")
     t0 = time.perf_counter()
-    with ctx.activate():
-        if fault_plan is not None:
-            with fault_plan.activate():
+    try:
+        with ctx.activate():
+            if fault_plan is not None:
+                with fault_plan.activate():
+                    result = spec.run(graph, **algorithm_kwargs)
+            else:
                 result = spec.run(graph, **algorithm_kwargs)
-        else:
-            result = spec.run(graph, **algorithm_kwargs)
+    finally:
+        if span is not None:
+            ctx.tracker.observer = prev_observer
+            span.set(
+                work=ctx.tracker.total_work(),
+                depth=ctx.tracker.total_depth(),
+            )
+            span.close()
     wall = time.perf_counter() - t0
     if verify:
         verify_labeling(graph, result.labels)
@@ -241,6 +267,7 @@ class Session:
         if algorithm.startswith("decomp-"):
             kwargs.setdefault("beta", beta)
             kwargs.setdefault("seed", seed)
+        metrics = current_context().metrics
         while True:
             wait_for: Optional[threading.Event] = None
             done: Optional[threading.Event] = None
@@ -251,20 +278,33 @@ class Session:
                     cached = self._memo.get(key)
                     if cached is not None:
                         self.hits += 1
+                        metrics.incr("session.memo.hit")
                         return cached
                     wait_for = self._inflight.get(key)
                     if wait_for is None:
                         done = threading.Event()
                         self._inflight[key] = done
-                if wait_for is None:
-                    workspace = self._claim_pool()
             if wait_for is not None:
                 # Someone else is computing this key; when they finish
                 # (or fail), re-check the memo — on failure this caller
                 # becomes the next owner and retries the computation.
+                metrics.incr("session.inflight.wait")
                 wait_for.wait()
                 continue
+            # From this point on this caller owns the in-flight entry
+            # for the key: EVERY exit — including a pool-claim failure
+            # below — must clear it and set the event, or concurrent
+            # waiters on the same key block forever.  Hence the claim
+            # happens inside the try, not in the registration block.
+            workspace: object = None
             try:
+                with self._lock:
+                    workspace = self._claim_pool()
+                metrics.incr(
+                    "session.pool.claimed"
+                    if workspace is not None
+                    else "session.pool.fresh"
+                )
                 profile = execute_profiled(
                     algorithm,
                     graph,
@@ -280,6 +320,8 @@ class Session:
                     if memoizable:
                         self._memo[key] = profile
                         self.misses += 1
+                if memoizable:
+                    metrics.incr("session.memo.miss")
                 return profile
             finally:
                 with self._lock:

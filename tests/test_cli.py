@@ -328,3 +328,171 @@ class TestLintFormats:
         code, out = run_cli(capsys, "lint", "--no-cache")
         assert code == 0
         assert "0 violation(s)" in out
+
+
+class TestJsonOutput:
+    """``--format json`` must emit a document ``json.loads`` accepts.
+
+    Regression coverage for NumPy scalars leaking to ``json.dump``:
+    every payload deliberately carries raw ``np.int64`` values and
+    ndarrays before the boundary coercion, so an uncoerced emit crashes
+    here rather than in a user's pipeline.
+    """
+
+    JSON_COMMANDS = [
+        ("run", "decomp-arb-CC", "line", "--seed", "3"),
+        ("run", "serial-SF", "3D-grid"),
+        ("decompose", "3D-grid", "--beta", "0.3"),
+        ("forest", "random"),
+    ]
+
+    @pytest.mark.parametrize("argv", JSON_COMMANDS, ids=lambda a: "-".join(a[:2]))
+    def test_round_trips_through_json(self, capsys, argv):
+        import json
+
+        code, out = run_cli(capsys, "--scale", "tiny", *argv, "--format", "json")
+        assert code == 0
+        payload = json.loads(out)
+        json.dumps(payload)  # native types only: re-dump must not raise
+        assert payload["graph"]
+        assert payload["scale"] == "tiny"
+
+    def test_decompose_payload_types_are_native(self, capsys):
+        import json
+
+        code, out = run_cli(
+            capsys, "--scale", "tiny", "decompose", "3D-grid", "--format", "json"
+        )
+        payload = json.loads(out)
+        assert code == 0
+        assert isinstance(payload["max_radius"], int)
+        assert isinstance(payload["partitions"], int)
+        assert isinstance(payload["largest_partitions"], list)
+        assert all(isinstance(s, int) for s in payload["largest_partitions"])
+
+    def test_output_writes_file_instead_of_stdout(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "run.json"
+        code, out = run_cli(
+            capsys, "--scale", "tiny", "run", "decomp-arb-CC", "line",
+            "--format", "json", "--output", str(path),
+        )
+        assert code == 0
+        assert out == ""  # the result went to the file, not stdout
+        payload = json.loads(path.read_text())
+        assert payload["algorithm"] == "decomp-arb-CC"
+
+
+class TestTraceSurfaces:
+    """The ``trace`` subcommand and the global ``--trace`` flag."""
+
+    def test_trace_command_writes_valid_document(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_trace
+
+        path = tmp_path / "run.trace.json"
+        code, out = run_cli(
+            capsys, "--scale", "tiny", "trace", "rMat", "--output", str(path)
+        )
+        assert code == 0
+        assert "rounds" in out and str(path) in out
+        doc = json.loads(path.read_text())
+        validate_trace(doc)
+        assert doc["meta"]["graph"] == "rMat"
+        assert doc["meta"]["algorithm"] == "decomp-arb-CC"
+        assert doc["meta"]["work"] > 0
+        assert doc["meta"]["phase_work"]
+        assert doc["metrics"]["counters"]["runtime.runs"] == 1
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert {"run", "round"} <= names
+
+    def test_global_trace_flag_wraps_any_command(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_trace
+
+        path = tmp_path / "cmd.trace.json"
+        code = main(
+            ["--scale", "tiny", "--trace", str(path),
+             "run", "decomp-arb-CC", "line"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "components : 1" in captured.out
+        assert "trace" in captured.err  # the stderr note
+        doc = json.loads(path.read_text())
+        validate_trace(doc)
+        assert doc["meta"]["command"] == "run"
+        assert doc["metrics"]["counters"]["runtime.runs"] >= 1
+
+
+class TestBrokenPipe:
+    """``repro ... | head``: exit 1, never a traceback, on EITHER stream.
+
+    Subprocess tests: the pipe's read end is closed before the child
+    writes, so the first flush raises ``BrokenPipeError`` — the
+    dispatcher must exit 1 without a traceback or the interpreter's
+    shutdown-flush ``Exception ignored`` (exit 120).
+    """
+
+    def _run_with_closed(self, argv, stream):
+        import os
+        import subprocess
+        import sys as _sys
+
+        code = (
+            "import sys\n"
+            "from repro.cli import main\n"
+            f"sys.exit(main({argv!r}))\n"
+        )
+        read_fd, write_fd = os.pipe()
+        os.close(read_fd)  # no reader: the child's first flush gets EPIPE
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        kwargs = {
+            "stdout": write_fd if stream == "stdout" else subprocess.PIPE,
+            "stderr": write_fd if stream == "stderr" else subprocess.PIPE,
+        }
+        proc = subprocess.run(
+            [_sys.executable, "-c", code], env=env, timeout=120, **kwargs
+        )
+        os.close(write_fd)
+        other = proc.stderr if stream == "stdout" else proc.stdout
+        return proc.returncode, (other or b"").decode()
+
+    def test_list_into_closed_stdout_exits_1(self):
+        code, err = self._run_with_closed(["list"], "stdout")
+        assert code == 1
+        assert "Traceback" not in err
+        assert "Exception ignored" not in err
+
+    def test_run_into_closed_stdout_exits_1(self):
+        code, err = self._run_with_closed(
+            ["--scale", "tiny", "run", "decomp-arb-CC", "line"], "stdout"
+        )
+        assert code == 1
+        assert "Traceback" not in err
+        assert "Exception ignored" not in err
+
+    def test_stderr_note_into_closed_stderr_exits_1(self, tmp_path):
+        # --sanitize prints its summary to stderr after the command:
+        # a closed stderr must follow the same contract as stdout.
+        code, out = self._run_with_closed(
+            ["--sanitize", "--scale", "tiny", "run", "decomp-arb-CC", "line"],
+            "stderr",
+        )
+        assert code == 1
+        assert "Traceback" not in out
+        assert "Exception ignored" not in out
+
+    def test_error_path_into_closed_stderr_exits_1(self):
+        # ReproError printing "error: ..." to a closed stderr: the
+        # nested handler must still exit 1, not crash in the handler.
+        code, out = self._run_with_closed(
+            ["--scale", "tiny", "table2", "--resume"], "stderr"
+        )
+        assert code == 1
+        assert "Traceback" not in out

@@ -60,3 +60,63 @@ class TestExportCsv:
         export_series_csv({}, path)
         rows = list(csv.reader(path.read_text().splitlines()))
         assert rows == [["series", "x", "y"]]
+
+
+class TestNumpyCoercion:
+    """NumPy scalars at the JSON boundary (regression: json.dump crash).
+
+    ``np.int64`` is NOT an ``int`` subclass: as a dict key it raises
+    ``TypeError: keys must be str, int, ...`` and as a value it raises
+    ``TypeError: Object of type int64 is not JSON serializable``.
+    Every exporter path funnels through ``to_jsonable`` so real sweep
+    results (whose counts come straight out of NumPy reductions) dump.
+    """
+
+    def test_numpy_keys_and_values(self, tmp_path):
+        import numpy as np
+
+        from repro.experiments import to_jsonable
+
+        data = {
+            np.int64(7): np.int64(3),
+            "radius": np.int64(12),
+            "fraction": np.float64(0.25),
+            "sizes": np.array([5, 3, 1], dtype=np.int64),
+        }
+        path = tmp_path / "np.json"
+        export_json(data, path)
+        reread = json.loads(path.read_text())
+        assert reread == {
+            "7": 3,
+            "radius": 12,
+            "fraction": 0.25,
+            "sizes": [5, 3, 1],
+        }
+        assert to_jsonable(np.bool_(True)) is True
+
+    def test_nested_numpy_values(self, tmp_path):
+        import numpy as np
+
+        data = {"rows": [{"count": np.int64(4)}, {"count": np.int64(9)}]}
+        path = tmp_path / "nested.json"
+        export_json(data, path)
+        assert json.loads(path.read_text()) == {
+            "rows": [{"count": 4}, {"count": 9}]
+        }
+
+    def test_real_component_sizes_dump(self, tmp_path):
+        # The exact shape that used to crash: np.unique's labels/counts
+        # used directly as a {label: size} mapping.
+        import numpy as np
+
+        from repro.experiments import build_graph
+        from repro.connectivity import decomp_cc
+
+        g = build_graph("3D-grid", "tiny")
+        labels = decomp_cc(g, beta=0.2, seed=1).labels
+        values, counts = np.unique(labels, return_counts=True)
+        sizes = dict(zip(values, counts))  # np.int64 keys AND values
+        path = tmp_path / "sizes.json"
+        export_json(sizes, path)
+        reread = json.loads(path.read_text())
+        assert sum(reread.values()) == g.num_vertices

@@ -195,6 +195,81 @@ class TestRL004GlobalState:
         assert "RL004" not in rules_for_path("src/repro/analysis/wallclock.py")
         assert "RL004" not in rules_for_path("src/repro/experiments/harness.py")
         assert "RL004" in rules_for_path("src/repro/decomp/base.py")
+        # The tracer timestamps with real time by design: RL004 is out,
+        # RL010 (observational purity) polices the layer instead.
+        assert "RL004" not in rules_for_path("src/repro/obs/tracer.py")
+        assert "RL010" in rules_for_path("src/repro/obs/tracer.py")
+        assert "RL010" not in rules_for_path("src/repro/engine/core.py")
+
+
+class TestRL010ObservationalPurity:
+    OBS = "src/repro/obs/tracer.py"
+
+    def test_store_into_parameter_flagged(self):
+        violations = check(
+            "RL010",
+            "def snoop(labels, i):\n"
+            "    labels[i] = 0\n",
+            self.OBS,
+        )
+        assert len(violations) == 1
+        assert "caller-owned 'labels'" in violations[0].message
+
+    def test_augmented_store_flagged(self):
+        violations = check(
+            "RL010",
+            "def snoop(counts, i):\n"
+            "    counts[i] += 1\n",
+            self.OBS,
+        )
+        assert len(violations) == 1
+
+    def test_attribute_store_on_parameter_flagged(self):
+        violations = check(
+            "RL010",
+            "def snoop(state):\n"
+            "    state.round = 99\n",
+            self.OBS,
+        )
+        assert len(violations) == 1
+
+    def test_inplace_numpy_mutation_flagged(self):
+        violations = check(
+            "RL010",
+            "import numpy as np\n"
+            "def snoop(frontier, scratch):\n"
+            "    np.copyto(scratch, frontier)\n"
+            "    frontier.fill(0)\n",
+            self.OBS,
+        )
+        assert {v.message.split()[0] for v in violations} == {"in-place"}
+        assert len(violations) == 2
+
+    def test_tracker_charge_flagged(self):
+        violations = check(
+            "RL010",
+            "def snoop(ctx):\n"
+            "    ctx.tracker.add('scan', work=1.0)\n",
+            self.OBS,
+        )
+        assert len(violations) == 1
+        assert "cost tracker" in violations[0].message
+
+    def test_own_state_mutation_ok(self):
+        assert not check(
+            "RL010",
+            "class Tracer:\n"
+            "    def record(self, name):\n"
+            "        self.events.append(name)\n"
+            "        self._tids[name] = len(self._tids)\n",
+            self.OBS,
+        )
+
+    def test_real_obs_package_is_clean(self):
+        obs_dir = REPO_ROOT / "src" / "repro" / "obs"
+        report = lint_paths([obs_dir], LintConfig(), enforce_stale=False)
+        assert [v for v in report.violations if v.rule == "RL010"] == []
+        assert report.files_checked >= 4
 
 
 class TestSeededRegression:

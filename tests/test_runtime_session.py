@@ -19,6 +19,7 @@ The refactor's acceptance bar lives here:
 from __future__ import annotations
 
 import threading
+import time
 import warnings
 from concurrent.futures import ThreadPoolExecutor
 
@@ -220,6 +221,88 @@ class TestConnectivityService:
         sess = svc.open("mine", graph)
         assert svc.session("mine") is sess
         assert svc.components("mine").size == graph.num_vertices
+
+
+class TestInflightCoalescing:
+    """The per-key in-flight table must be cleared on EVERY exit path.
+
+    Regression tests for a leak where the pooled-workspace claim ran
+    after the in-flight registration but outside the try/finally: a
+    claim failure left the key's event in ``_inflight`` forever, and
+    every later caller of the same key deadlocked waiting on it.
+    """
+
+    def test_failed_claim_clears_inflight_entry(self):
+        sess = Session("random", scale="tiny", seed=2)
+
+        def exploding_claim():
+            raise RuntimeError("pool boom")
+
+        original = sess._claim_pool
+        sess._claim_pool = exploding_claim
+        try:
+            with pytest.raises(RuntimeError, match="pool boom"):
+                sess.run()
+        finally:
+            sess._claim_pool = original
+        # Pre-fix this assertion fails (and the run() below would then
+        # deadlock on the leaked event — assert first, run second).
+        assert sess._inflight == {}
+        prof = sess.run()
+        assert prof.tracker.total_work() > 0.0
+        assert sess.stats == {"hits": 0, "misses": 1}
+
+    def test_waiter_recovers_when_first_runner_fails(self, monkeypatch):
+        """Two threads, same key: the first fails, the second computes."""
+        import repro.runtime.session as session_mod
+
+        sess = Session("random", scale="tiny", seed=2)
+        real = session_mod.execute_profiled
+        first_entered = threading.Event()
+        release_first = threading.Event()
+        attempts = []
+
+        def flaky(*args, **kwargs):
+            attempts.append(threading.get_ident())
+            if len(attempts) == 1:
+                first_entered.set()
+                assert release_first.wait(10)
+                raise RuntimeError("first run dies")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(session_mod, "execute_profiled", flaky)
+        errors, profiles = [], []
+
+        def owner():
+            try:
+                sess.run()
+            except RuntimeError as exc:
+                errors.append(exc)
+
+        def waiter():
+            profiles.append(sess.run())
+
+        t_owner = threading.Thread(target=owner)
+        t_owner.start()
+        assert first_entered.wait(10)  # owner holds the in-flight entry
+        t_waiter = threading.Thread(target=waiter)
+        t_waiter.start()
+        # Give the waiter a moment to park on the in-flight event, then
+        # let the owner fail; the waiter must wake, become the next
+        # owner, and compute the labeling itself.
+        deadline = time.monotonic() + 10
+        while not sess._inflight and time.monotonic() < deadline:
+            time.sleep(0.001)
+        release_first.set()
+        t_owner.join(10)
+        t_waiter.join(10)
+        assert not t_owner.is_alive() and not t_waiter.is_alive()
+        assert len(errors) == 1 and "first run dies" in str(errors[0])
+        assert len(profiles) == 1
+        assert profiles[0].tracker.total_work() > 0.0
+        assert sess._inflight == {}
+        # The waiter's successful compute entered the memo.
+        assert sess.run() is profiles[0]
 
 
 class TestContextDiscipline:
